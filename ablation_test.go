@@ -1,0 +1,89 @@
+package terp
+
+// Ablation benchmarks for the design choices DESIGN.md calls out beyond
+// the Figure 11 sweep: the compiler's conservative cost model, the
+// randomization knob, and the TEW target size. Each reports the security
+// and performance sides of the trade-off as benchmark metrics.
+
+import (
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/speckit"
+	"repro/internal/terpc"
+	"repro/internal/whisper"
+)
+
+// BenchmarkAblationCostModel varies the insertion pass's conservative
+// per-memory-access estimate. A lower (more accurate) estimate grows the
+// covered regions (fewer, longer windows: cheaper but more exposed); a
+// higher one shrinks them.
+func BenchmarkAblationCostModel(b *testing.B) {
+	k, err := speckit.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, mem := range []uint64{8, 40, 200} {
+			cfg := params.NewConfig(params.TT, params.DefaultEWMicros)
+			opts := speckit.RunOpts{InsertOverride: &terpc.Options{
+				EWThreshold:  cfg.EWTarget,
+				TEWThreshold: cfg.TEWTarget,
+				MemCost:      mem,
+			}}
+			ov, prot, _, err := speckit.Overhead(cfg, k, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := map[uint64]string{8: "accurate", 40: "default", 200: "paranoid"}[mem]
+			b.ReportMetric(100*ov, label+"-ov%")
+			b.ReportMetric(params.ToMicros(uint64(prot.Exposure.AvgTEW)), label+"-TEW-us")
+		}
+	}
+}
+
+// BenchmarkAblationRandomization toggles space-layout randomization: the
+// cost it adds and the re-randomizations it buys (the security side of
+// Theorem 6's synergy).
+func BenchmarkAblationRandomization(b *testing.B) {
+	mk := func() whisper.Workload { return whisper.NewRedis() }
+	for i := 0; i < b.N; i++ {
+		for _, randomize := range []bool{true, false} {
+			cfg := params.NewConfig(params.TT, params.DefaultEWMicros)
+			cfg.Randomize = randomize
+			ov, prot, _, err := whisper.Overhead(cfg, mk, whisper.RunOpts{Ops: 3000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "rand-on"
+			if !randomize {
+				label = "rand-off"
+			}
+			b.ReportMetric(100*ov, label+"-ov%")
+			b.ReportMetric(float64(prot.Counts.Randomizations), label+"-moves")
+		}
+	}
+}
+
+// BenchmarkAblationTEWTarget sweeps the thread exposure window target:
+// smaller TEWs mean more conditional operations (cost) and less time a
+// compromised thread can touch the PMO (security).
+func BenchmarkAblationTEWTarget(b *testing.B) {
+	k, err := speckit.ByName("nab")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, tewUS := range []float64{0.5, 2, 8} {
+			cfg := params.NewConfig(params.TT, params.DefaultEWMicros)
+			cfg.TEWTarget = params.Micros(tewUS)
+			ov, prot, _, err := speckit.Overhead(cfg, k, speckit.RunOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := map[float64]string{0.5: "tew0.5us", 2: "tew2us", 8: "tew8us"}[tewUS]
+			b.ReportMetric(100*ov, label+"-ov%")
+			b.ReportMetric(100*prot.Exposure.TER, label+"-TER%")
+		}
+	}
+}

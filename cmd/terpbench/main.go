@@ -1,0 +1,100 @@
+// Command terpbench regenerates every table and figure of the paper's
+// evaluation on the simulated machine:
+//
+//	terpbench -exp all                  # everything (paper-scale, slow)
+//	terpbench -exp table3 -ops 20000    # one experiment, smaller run
+//	terpbench -exp fig11 -scale 2       # bigger SPEC kernels
+//
+// Experiments: fig8, table3, fig9, table4, fig10, fig11, table5, table6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	terp "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig8, table3, fig9, table4, fig10, fig11, table5, table6, semantics, ewsweep")
+	ops := flag.Int("ops", 100_000, "WHISPER operations per run")
+	scale := flag.Int("scale", 1, "SPEC kernel scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	o := terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig8") {
+		ran = true
+		res, err := terp.Figure8(o)
+		check(err)
+		fmt.Println(terp.FormatFigure8(res))
+	}
+	if want("table3") {
+		ran = true
+		rows, err := terp.Table3(o)
+		check(err)
+		fmt.Println(terp.FormatTable3(rows))
+	}
+	if want("fig9") {
+		ran = true
+		bars, err := terp.Figure9(o)
+		check(err)
+		fmt.Println(terp.FormatOverheads("Figure 9: WHISPER execution-time overheads", bars))
+	}
+	if want("table4") {
+		ran = true
+		rows, err := terp.Table4(o)
+		check(err)
+		fmt.Println(terp.FormatTable4(rows))
+	}
+	if want("fig10") {
+		ran = true
+		bars, err := terp.Figure10(o)
+		check(err)
+		fmt.Println(terp.FormatOverheads("Figure 10: SPEC single-thread overheads", bars))
+	}
+	if want("fig11") {
+		ran = true
+		bars, err := terp.Figure11(o)
+		check(err)
+		fmt.Println(terp.FormatOverheads("Figure 11: SPEC 4-thread ablation", bars))
+	}
+	if want("table5") {
+		ran = true
+		fmt.Println(terp.FormatTable5(terp.Table5(0)))
+	}
+	if want("semantics") {
+		ran = true
+		fmt.Println(terp.FormatSemanticsStudy(terp.SemanticsStudy()))
+	}
+	if want("ewsweep") {
+		ran = true
+		rows, err := terp.EWSweep(o, nil)
+		check(err)
+		fmt.Println(terp.FormatEWSweep(rows))
+	}
+	if want("table6") {
+		ran = true
+		res, err := terp.Table6(o)
+		check(err)
+		fmt.Println(terp.FormatTable6(res))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "terpbench: unknown experiment %q\n", *exp)
+		fmt.Fprintln(os.Stderr, "valid: all, "+strings.Join([]string{
+			"fig8", "table3", "fig9", "table4", "fig10", "fig11", "table5", "table6", "semantics", "ewsweep"}, ", "))
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "terpbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,607 @@
+package terp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/params"
+	"repro/internal/semantics"
+	"repro/internal/sim"
+	"repro/internal/speckit"
+	"repro/internal/stats"
+	"repro/internal/terpc"
+	"repro/internal/whisper"
+)
+
+// ExpOpts scales the experiment runners. The defaults reproduce the
+// paper's settings; tests and benchmarks shrink Ops/Scale for speed.
+type ExpOpts struct {
+	// Ops is the WHISPER operation count (paper: 100000).
+	Ops int
+	// Scale multiplies the SPEC kernel sizes (paper-equivalent: 4+).
+	Scale int
+	// Seed seeds every run.
+	Seed int64
+}
+
+func (o ExpOpts) withDefaults() ExpOpts {
+	if o.Ops == 0 {
+		o.Ops = whisper.DefaultOps
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o ExpOpts) cfg(s Scheme, ew float64) params.Config {
+	c := params.NewConfig(s, ew)
+	c.Seed = o.Seed
+	return c
+}
+
+// --- Table III --------------------------------------------------------------
+
+// WhisperRow is one Table III row: exposure measurements for one WHISPER
+// workload under MM and TT at the 40 us EW / 2 us TEW targets.
+type WhisperRow struct {
+	// Prog is the workload name.
+	Prog string
+	// MMEWAvg, MMEWMax, MMER are MERR's exposure figures (us, us, frac).
+	MMEWAvg, MMEWMax, MMER float64
+	// Silent is TT's share of conditional ops lowered to thread
+	// permission changes (percent).
+	Silent float64
+	// TTEWAvg, TTEWMax, TTER are TT's process-level exposure figures.
+	TTEWAvg, TTEWMax, TTER float64
+	// TEW and TER are TT's thread-level exposure figures (us, frac).
+	TEW, TER float64
+	// CondFreq is TT's conditional ops per second.
+	CondFreq float64
+}
+
+// Table3 reproduces Table III: WHISPER exposure under MM vs TT.
+func Table3(o ExpOpts) ([]WhisperRow, error) {
+	o = o.withDefaults()
+	var rows []WhisperRow
+	for _, mk := range whisper.All() {
+		name := mk().Name()
+		mm, err := whisper.Run(o.cfg(MM, 40), mk, whisper.RunOpts{Ops: o.Ops})
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s MM: %w", name, err)
+		}
+		tt, err := whisper.Run(o.cfg(TT, 40), mk, whisper.RunOpts{Ops: o.Ops})
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s TT: %w", name, err)
+		}
+		rows = append(rows, WhisperRow{
+			Prog:     name,
+			MMEWAvg:  params.ToMicros(uint64(mm.Exposure.AvgEW)),
+			MMEWMax:  params.ToMicros(uint64(mm.Exposure.MaxEW)),
+			MMER:     mm.Exposure.ER,
+			Silent:   tt.Counts.SilentPercent(),
+			TTEWAvg:  params.ToMicros(uint64(tt.Exposure.AvgEW)),
+			TTEWMax:  params.ToMicros(uint64(tt.Exposure.MaxEW)),
+			TTER:     tt.Exposure.ER,
+			TEW:      params.ToMicros(uint64(tt.Exposure.AvgTEW)),
+			TER:      tt.Exposure.TER,
+			CondFreq: tt.CondFreqPerSec(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table III.
+func FormatTable3(rows []WhisperRow) string {
+	t := stats.NewTable("Prog", "MM EW avg/max(us)", "MM ER%", "Silent%",
+		"TT EW avg/max(us)", "TT ER%", "TEW(us)", "TER%")
+	var avg WhisperRow
+	for _, r := range rows {
+		t.AddRow(r.Prog,
+			fmt.Sprintf("%.1f/%.1f", r.MMEWAvg, r.MMEWMax), 100*r.MMER,
+			r.Silent,
+			fmt.Sprintf("%.1f/%.1f", r.TTEWAvg, r.TTEWMax), 100*r.TTER,
+			fmt.Sprintf("%.2f", r.TEW), 100*r.TER)
+		avg.MMEWAvg += r.MMEWAvg
+		avg.MMER += r.MMER
+		avg.Silent += r.Silent
+		avg.TTEWAvg += r.TTEWAvg
+		avg.TTER += r.TTER
+		avg.TEW += r.TEW
+		avg.TER += r.TER
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		t.AddRow("Avg.",
+			fmt.Sprintf("%.1f/-", avg.MMEWAvg/n), 100*avg.MMER/n,
+			avg.Silent/n,
+			fmt.Sprintf("%.1f/-", avg.TTEWAvg/n), 100*avg.TTER/n,
+			fmt.Sprintf("%.2f", avg.TEW/n), 100*avg.TER/n)
+	}
+	return "Table III: WHISPER results with target EW 40us, TEW 2us\n" + t.String()
+}
+
+// --- Figures 9/10/11: overhead breakdowns -----------------------------------
+
+// OverheadBar is one stacked bar of an overhead figure.
+type OverheadBar struct {
+	// Prog is the workload or kernel name.
+	Prog string
+	// Label names the configuration (e.g. "MM(40us)" or "TT(80us)").
+	Label string
+	// Total is the relative execution-time overhead vs unprotected.
+	Total float64
+	// Attach, Detach, Rand, Cond, Other are the stacked components as
+	// fractions of baseline time.
+	Attach, Detach, Rand, Cond, Other float64
+}
+
+func bar(prog, label string, prot, base core.Result) OverheadBar {
+	b := float64(base.Cycles)
+	ov := float64(prot.Cycles)/b - 1
+	out := OverheadBar{
+		Prog: prog, Label: label, Total: ov,
+		Attach: float64(prot.Costs[sim.Attach]) / b,
+		Detach: float64(prot.Costs[sim.Detach]) / b,
+		Rand:   float64(prot.Costs[sim.Rand]) / b,
+		Cond:   float64(prot.Costs[sim.Cond]) / b,
+	}
+	out.Other = ov - out.Attach - out.Detach - out.Rand - out.Cond
+	if out.Other < 0 {
+		out.Other = 0
+	}
+	return out
+}
+
+// whisperConfigs are the Figure 9 configurations.
+func figure9Configs(o ExpOpts) []struct {
+	label string
+	cfg   params.Config
+} {
+	return []struct {
+		label string
+		cfg   params.Config
+	}{
+		{"MM(40us)", o.cfg(MM, 40)},
+		{"TM(40us)", o.cfg(TM, 40)},
+		{"TT(40us)", o.cfg(TT, 40)},
+		{"TT(80us)", o.cfg(TT, 80)},
+		{"TT(160us)", o.cfg(TT, 160)},
+	}
+}
+
+// Figure9 reproduces the WHISPER overhead breakdown.
+func Figure9(o ExpOpts) ([]OverheadBar, error) {
+	o = o.withDefaults()
+	var bars []OverheadBar
+	for _, mk := range whisper.All() {
+		name := mk().Name()
+		base, err := whisper.Run(o.cfg(Unprotected, 40), mk, whisper.RunOpts{Ops: o.Ops})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range figure9Configs(o) {
+			prot, err := whisper.Run(c.cfg, mk, whisper.RunOpts{Ops: o.Ops})
+			if err != nil {
+				return nil, fmt.Errorf("figure9 %s %s: %w", name, c.label, err)
+			}
+			bars = append(bars, bar(name, c.label, prot, base))
+		}
+	}
+	return bars, nil
+}
+
+// Table4Row is one Table IV row: SPEC exposure under MM and TT.
+type Table4Row struct {
+	// Prog is the kernel name; PMOs its persistent array count.
+	Prog string
+	PMOs int
+	// Exposure figures as in WhisperRow.
+	MMEWAvg, MMEWMax, MMER float64
+	Silent                 float64
+	TTEWAvg, TTEWMax, TTER float64
+	TEW, TER               float64
+}
+
+// Table4 reproduces Table IV (single-thread, multi-PMO SPEC kernels).
+func Table4(o ExpOpts) ([]Table4Row, error) {
+	o = o.withDefaults()
+	var rows []Table4Row
+	for _, k := range speckit.Kernels() {
+		run := speckit.RunOpts{Threads: 1, Scale: o.Scale}
+		mm, err := speckit.Run(o.cfg(MM, 40), k, run)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s MM: %w", k.Name, err)
+		}
+		tt, err := speckit.Run(o.cfg(TT, 40), k, run)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s TT: %w", k.Name, err)
+		}
+		rows = append(rows, Table4Row{
+			Prog: k.Name, PMOs: k.PMOs,
+			MMEWAvg: params.ToMicros(uint64(mm.Exposure.AvgEW)),
+			MMEWMax: params.ToMicros(uint64(mm.Exposure.MaxEW)),
+			MMER:    mm.Exposure.ER,
+			Silent:  tt.Counts.SilentPercent(),
+			TTEWAvg: params.ToMicros(uint64(tt.Exposure.AvgEW)),
+			TTEWMax: params.ToMicros(uint64(tt.Exposure.MaxEW)),
+			TTER:    tt.Exposure.ER,
+			TEW:     params.ToMicros(uint64(tt.Exposure.AvgTEW)),
+			TER:     tt.Exposure.TER,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table IV.
+func FormatTable4(rows []Table4Row) string {
+	t := stats.NewTable("Prog", "#PMOs", "MM EW avg/max(us)", "MM ER%",
+		"Silent%", "TT EW avg/max(us)", "TT ER%", "TEW(us)", "TER%")
+	for _, r := range rows {
+		t.AddRow(r.Prog, r.PMOs,
+			fmt.Sprintf("%.1f/%.1f", r.MMEWAvg, r.MMEWMax), 100*r.MMER,
+			r.Silent,
+			fmt.Sprintf("%.1f/%.1f", r.TTEWAvg, r.TTEWMax), 100*r.TTER,
+			fmt.Sprintf("%.2f", r.TEW), 100*r.TER)
+	}
+	return "Table IV: SPEC results on 40us EW (single thread, multi-PMO)\n" + t.String()
+}
+
+// Figure10 reproduces the single-thread SPEC overhead breakdown.
+func Figure10(o ExpOpts) ([]OverheadBar, error) {
+	return specOverheads(o, 1, figure9Configs(o.withDefaults()))
+}
+
+// Figure11 reproduces the 4-thread ablation: Basic semantics, +Cond, and
+// the full design (+CB) at 40/80/160 us EWs.
+func Figure11(o ExpOpts) ([]OverheadBar, error) {
+	o = o.withDefaults()
+	cfgs := []struct {
+		label string
+		cfg   params.Config
+	}{
+		{"Basic(40us)", o.cfg(BasicSem, 40)},
+		{"+Cond(40us)", o.cfg(PlusCond, 40)},
+		{"+CB(40us)", o.cfg(PlusCB, 40)},
+		{"TT(80us)", o.cfg(TT, 80)},
+		{"TT(160us)", o.cfg(TT, 160)},
+	}
+	return specOverheads(o, params.Cores, cfgs)
+}
+
+func specOverheads(o ExpOpts, threads int, cfgs []struct {
+	label string
+	cfg   params.Config
+}) ([]OverheadBar, error) {
+	o = o.withDefaults()
+	var bars []OverheadBar
+	for _, k := range speckit.Kernels() {
+		run := speckit.RunOpts{Threads: threads, Scale: o.Scale}
+		baseCfg := o.cfg(Unprotected, 40)
+		base, err := speckit.Run(baseCfg, k, run)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cfgs {
+			prot, err := speckit.Run(c.cfg, k, run)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", k.Name, c.label, err)
+			}
+			bars = append(bars, bar(k.Name, c.label, prot, base))
+		}
+	}
+	return bars, nil
+}
+
+// FormatOverheads renders an overhead figure as grouped ASCII bars.
+func FormatOverheads(title string, bars []OverheadBar) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	var max float64
+	for _, x := range bars {
+		if x.Total > max {
+			max = x.Total
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	prog := ""
+	for _, x := range bars {
+		if x.Prog != prog {
+			prog = x.Prog
+			fmt.Fprintf(&b, "%s:\n", prog)
+		}
+		fmt.Fprintf(&b, "  %s\n", stats.Bar(x.Label, x.Total, max, 50))
+		fmt.Fprintf(&b, "    attach %.2f%% detach %.2f%% rand %.2f%% cond %.2f%% other %.2f%%\n",
+			100*x.Attach, 100*x.Detach, 100*x.Rand, 100*x.Cond, 100*x.Other)
+	}
+	return b.String()
+}
+
+// --- Table V ----------------------------------------------------------------
+
+// Table5Row is one quantitative-comparison row.
+type Table5Row struct {
+	// AttackMicros is the per-probe attack time x.
+	AttackMicros float64
+	// MERRPct and TERPPct are success probabilities in percent.
+	MERRPct, TERPPct float64
+}
+
+// Table5 reproduces the Table V analysis. terpAccessFraction is the
+// measured TERP thread exposure rate; pass 0 to use the paper's 3.4%.
+func Table5(terpAccessFraction float64) []Table5Row {
+	if terpAccessFraction == 0 {
+		terpAccessFraction = attack.DefaultTERPAccessFraction
+	}
+	var rows []Table5Row
+	for _, x := range attack.AttackTimes() {
+		m, t := attack.TableVRow(x, terpAccessFraction)
+		rows = append(rows, Table5Row{AttackMicros: x, MERRPct: m, TERPPct: t})
+	}
+	return rows
+}
+
+// FormatTable5 renders Table V.
+func FormatTable5(rows []Table5Row) string {
+	t := stats.NewTable("Attack time x(us)", "MERR succ.%", "TERP succ.%", "Reduction")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.1f", r.AttackMicros),
+			fmt.Sprintf("%.5f", r.MERRPct),
+			fmt.Sprintf("%.5f", r.TERPPct),
+			fmt.Sprintf("%.0fx", r.MERRPct/r.TERPPct))
+	}
+	return "Table V: probe-attack success probability per window (1GB PMO, 40us EW, 2us TEW)\n" + t.String()
+}
+
+// --- Table VI ---------------------------------------------------------------
+
+// Table6Result is the attack-scenario analysis: time-weighted gadget
+// disarm rates derived from measured exposure, per suite.
+type Table6Result struct {
+	// Rows holds one entry per suite.
+	Rows []attack.ScenarioRow
+	// SpecCensus is the static gadget census over the instrumented
+	// SPEC kernels (every PMO access gadget must be window-covered).
+	SpecCensus attack.GadgetCensus
+}
+
+// Table6 reproduces Table VI by measuring exposure rates of both suites
+// and scanning the instrumented kernels for gadget coverage.
+func Table6(o ExpOpts) (Table6Result, error) {
+	o = o.withDefaults()
+	var out Table6Result
+
+	// WHISPER row: average MM ER vs TT TER.
+	wr, err := Table3(ExpOpts{Ops: o.Ops / 4, Seed: o.Seed})
+	if err != nil {
+		return out, err
+	}
+	var er, ter float64
+	for _, r := range wr {
+		er += r.MMER
+		ter += r.TER
+	}
+	n := float64(len(wr))
+	out.Rows = append(out.Rows, attack.BuildScenarioRow("WHISPER", er/n, ter/n))
+
+	// SPEC row.
+	sr, err := Table4(ExpOpts{Scale: o.Scale, Seed: o.Seed})
+	if err != nil {
+		return out, err
+	}
+	er, ter = 0, 0
+	for _, r := range sr {
+		er += r.MMER
+		ter += r.TER
+	}
+	n = float64(len(sr))
+	out.Rows = append(out.Rows, attack.BuildScenarioRow("SPEC", er/n, ter/n))
+
+	// Static census over instrumented kernels.
+	census, err := specGadgetCensus(o)
+	if err != nil {
+		return out, err
+	}
+	out.SpecCensus = census
+	return out, nil
+}
+
+// FormatTable6 renders Table VI, including the full scenario matrix
+// (gadget/window relationship x attacker capability).
+func FormatTable6(r Table6Result) string {
+	t := stats.NewTable("Suite", "MERR keeps usable", "TERP keeps usable", "TERP disarms")
+	for _, row := range r.Rows {
+		t.AddRow(row.Suite,
+			fmt.Sprintf("%.1f%%", 100*row.MERRUsable),
+			fmt.Sprintf("%.2f%%", 100*row.TERPUsable),
+			fmt.Sprintf("%.2f%%", 100*row.DisarmedTERP()))
+	}
+	s := "Table VI: gadget capability under the attack scenarios\n" + t.String()
+	s += fmt.Sprintf("Static census (SPEC kernels): %d PMO gadgets, %.1f%% inside attach-detach windows\n",
+		r.SpecCensus.Total, 100*r.SpecCensus.CoveredFraction())
+	if len(r.Rows) == 2 {
+		m := attack.BuildScenarioMatrix(r.Rows[0].DisarmedTERP(), r.Rows[1].DisarmedTERP(), params.DefaultEWMicros)
+		s += "\nScenario matrix:\n" + m.String()
+	}
+	return s
+}
+
+// --- Figure 8 ---------------------------------------------------------------
+
+// Figure8Result is the dead-time study outcome.
+type Figure8Result struct {
+	// Hist is the dead-time distribution in microseconds.
+	Hist *stats.Histogram
+	// AtLeastTEW is the fraction of dead times >= the 2 us TEW target
+	// (the attack-surface reduction of choosing TEW = 2 us).
+	AtLeastTEW float64
+}
+
+// Figure8 reproduces the dead-time distribution study.
+func Figure8(o ExpOpts) (Figure8Result, error) {
+	o = o.withDefaults()
+	h, frac, err := attack.DeadTimeStudy(o.Seed)
+	return Figure8Result{Hist: h, AtLeastTEW: frac}, err
+}
+
+// FormatFigure8 renders the distribution.
+func FormatFigure8(r Figure8Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: time from last write to deallocation (attack surface)\n")
+	for i := range r.Hist.Counts {
+		frac := r.Hist.Fraction(i)
+		fmt.Fprintf(&b, "  %12s us  %5.1f%% |%s\n", r.Hist.BucketLabel(i), 100*frac,
+			strings.Repeat("#", int(frac*120)))
+	}
+	fmt.Fprintf(&b, "P(dead time >= 2us) = %.1f%% -> a 2us TEW removes %.1f%% of the surface\n",
+		100*r.AtLeastTEW, 100*r.AtLeastTEW)
+	return b.String()
+}
+
+// specGadgetCensus compiles and instruments every SPEC kernel and scans
+// the result for gadget coverage.
+func specGadgetCensus(o ExpOpts) (attack.GadgetCensus, error) {
+	var total attack.GadgetCensus
+	for _, k := range speckit.Kernels() {
+		prog, err := lang.Compile(k.Source(o.Scale))
+		if err != nil {
+			return total, err
+		}
+		if _, err := terpc.Insert(prog, terpc.Options{
+			EWThreshold:  params.Micros(params.DefaultEWMicros),
+			TEWThreshold: params.Micros(params.DefaultTEWMicros),
+		}); err != nil {
+			return total, err
+		}
+		c := attack.ScanProgram(prog)
+		total.Total += c.Total
+		total.Covered += c.Covered
+		total.Gadgets = append(total.Gadgets, c.Gadgets...)
+	}
+	return total, nil
+}
+
+// --- Semantics-space exploration (Section IV) --------------------------------
+
+// SemanticsStudyResult compares the four attach/detach semantics of
+// Section IV on two traces: the nested-library trace (Figure 3) and the
+// overlapping-threads trace (Figure 4).
+type SemanticsStudyResult struct {
+	// Nested holds the per-policy results for the nesting trace.
+	Nested []semantics.StudyResult
+	// Parallel holds the per-policy results for the concurrency trace.
+	Parallel []semantics.StudyResult
+}
+
+// SemanticsStudy runs the exploration with a 2us EW-conscious holdoff.
+func SemanticsStudy() SemanticsStudyResult {
+	var out SemanticsStudyResult
+	l := params.Micros(params.DefaultTEWMicros)
+	nested := semantics.NestedTrace(50, 3, 200)
+	par := semantics.ParallelTrace(4, 50, 100)
+	for _, p := range semantics.AllPolicies(l) {
+		out.Nested = append(out.Nested, semantics.RunStudy(p, nested))
+		out.Parallel = append(out.Parallel, semantics.RunStudy(p, par))
+	}
+	return out
+}
+
+// FormatSemanticsStudy renders the exploration as two tables.
+func FormatSemanticsStudy(r SemanticsStudyResult) string {
+	var b strings.Builder
+	render := func(title string, rows []semantics.StudyResult) {
+		b.WriteString(title + "\n")
+		t := stats.NewTable("semantics", "errors", "real ops", "lowered", "silent", "denied acc.", "EW avg/max (us)")
+		for _, row := range rows {
+			t.AddRow(row.Policy, row.Errors, row.RealOps, row.Lowered, row.Silent,
+				row.DeniedAccesses,
+				fmt.Sprintf("%.1f/%.1f", params.ToMicros(uint64(row.AvgEW)), params.ToMicros(uint64(row.MaxEW))))
+		}
+		b.WriteString(t.String())
+	}
+	render("Semantics exploration — nested library calls (Figure 3 situation):", r.Nested)
+	b.WriteString("\n")
+	render("Semantics exploration — overlapping threads (Figure 4 situation):", r.Parallel)
+	b.WriteString(`
+Reading: Basic rejects nesting and concurrent windows outright (every
+rejected call is a crash or a lost protection in a real program). FCFS
+accepts them but performs the first detach it sees, then denies the
+program's own remaining accesses — it cannot tell benign late accesses
+from an attacker's. Outermost silences inner pairs, so its window always
+spans the whole outermost nest, however long that runs. EW-conscious is
+the only semantics with zero errors and zero denied accesses; its windows
+may combine (they exceed the others here by design), which is exactly
+what the TERP hardware's timer then bounds to the EW target — the
+division of labor of Section IV-C plus Section V-B.
+`)
+	return b.String()
+}
+
+// --- EW security/performance frontier (extension of Section VII-A) ----------
+
+// EWSweepRow is one point of the exposure-window frontier: the overhead a
+// target costs and the probe-attack success probability it concedes.
+type EWSweepRow struct {
+	// EWMicros is the exposure window target.
+	EWMicros float64
+	// OverheadPct is the measured WHISPER-average overhead (percent).
+	OverheadPct float64
+	// MERRSuccPct and TERPSuccPct are per-window probe success
+	// probabilities (percent, 1 us attack time, 1 GB PMO).
+	MERRSuccPct, TERPSuccPct float64
+}
+
+// EWSweep measures the security/performance frontier across EW targets,
+// extending the paper's 40/80/160 us evaluation with the analytic attack
+// model at each point. The TERP probability uses each run's measured
+// thread exposure rate rather than the paper's fixed 3.4%.
+func EWSweep(o ExpOpts, ewMicros []float64) ([]EWSweepRow, error) {
+	o = o.withDefaults()
+	if len(ewMicros) == 0 {
+		ewMicros = []float64{40, 80, 160, 320}
+	}
+	var rows []EWSweepRow
+	for _, ew := range ewMicros {
+		var ovSum, terSum float64
+		n := 0
+		for _, mk := range whisper.All() {
+			ov, prot, _, err := whisper.Overhead(o.cfg(TT, ew), mk, whisper.RunOpts{Ops: o.Ops})
+			if err != nil {
+				return nil, fmt.Errorf("ewsweep %.0fus: %w", ew, err)
+			}
+			ovSum += ov
+			terSum += prot.Exposure.TER
+			n++
+		}
+		merr := attack.ProbeModel{PMOBytes: 1 << 30, EWMicros: ew, AttackMicros: 1, AccessFraction: 1}
+		terp := merr
+		terp.AccessFraction = terSum / float64(n)
+		rows = append(rows, EWSweepRow{
+			EWMicros:    ew,
+			OverheadPct: 100 * ovSum / float64(n),
+			MERRSuccPct: merr.SuccessPercent(),
+			TERPSuccPct: terp.SuccessPercent(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatEWSweep renders the frontier.
+func FormatEWSweep(rows []EWSweepRow) string {
+	t := stats.NewTable("EW target (us)", "TT overhead %", "MERR succ.%/win", "TERP succ.%/win")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f", r.EWMicros),
+			fmt.Sprintf("%.1f", r.OverheadPct),
+			fmt.Sprintf("%.5f", r.MERRSuccPct),
+			fmt.Sprintf("%.5f", r.TERPSuccPct))
+	}
+	return "EW frontier: protection cost vs probe-attack success (extension)\n" + t.String()
+}

@@ -1,0 +1,69 @@
+// Package core implements the TERP runtime — the paper's primary
+// contribution assembled over the substrates: PMO attach/detach under a
+// chosen semantics (Section IV), conditional attach/detach over the TERP
+// hardware (Section V-B), thread permission control, exposure-window
+// accounting, space-layout randomization, and the full load/store
+// protection path (TLB, permission matrix, thread permission, caches).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/paging"
+	"repro/internal/pmo"
+)
+
+// FaultKind classifies protection faults raised on loads and stores.
+type FaultKind int
+
+// The three PMO data states of Section VII-D produce three fault kinds.
+const (
+	// SegFault: the PMO is detached; the address is not mapped and the
+	// MMU raises a segmentation fault. Even Spectre-class attacks fail
+	// in this state (non-existent mapping).
+	SegFault FaultKind = iota
+	// PermFault: the mapping exists but the process-wide permission
+	// matrix denies the requested access.
+	PermFault
+	// ThreadPermFault: the PMO is attached but the calling thread does
+	// not hold thread-level permission (its TEW is closed).
+	ThreadPermFault
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case SegFault:
+		return "segmentation fault"
+	case PermFault:
+		return "permission matrix fault"
+	case ThreadPermFault:
+		return "thread permission fault"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is a protection fault on a PMO access.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// OID is the object the access targeted.
+	OID pmo.OID
+	// Want is the requested access right.
+	Want paging.Perm
+	// Thread is the faulting thread.
+	Thread int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("core: %s on %v (want %s, thread %d)", f.Kind, f.OID, f.Want, f.Thread)
+}
+
+// IsFault reports whether err is (or wraps) a protection fault of the
+// given kind.
+func IsFault(err error, k FaultKind) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Kind == k
+}

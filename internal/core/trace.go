@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// TraceKind classifies protection events recorded by the tracer.
+type TraceKind int
+
+// The protection events of one run.
+const (
+	// TraceRealAttach is a full attach system call.
+	TraceRealAttach TraceKind = iota
+	// TraceGrant is a conditional attach lowered to a thread grant.
+	TraceGrant
+	// TraceSilentNest is a nested attach/detach made silent.
+	TraceSilentNest
+	// TraceRealDetach is a full detach system call.
+	TraceRealDetach
+	// TraceRevoke is a conditional detach lowered to a thread revoke.
+	TraceRevoke
+	// TraceSelfDetach is a sweep-triggered detach (expired window).
+	TraceSelfDetach
+	// TraceRandomize is a space-layout randomization.
+	TraceRandomize
+	// TraceFault is a protection fault on an access.
+	TraceFault
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRealAttach:
+		return "attach"
+	case TraceGrant:
+		return "grant"
+	case TraceSilentNest:
+		return "silent"
+	case TraceRealDetach:
+		return "detach"
+	case TraceRevoke:
+		return "revoke"
+	case TraceSelfDetach:
+		return "self-detach"
+	case TraceRandomize:
+		return "randomize"
+	case TraceFault:
+		return "FAULT"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// TraceEvent is one recorded protection event.
+type TraceEvent struct {
+	// Time is the event time in cycles.
+	Time uint64
+	// Thread is the acting thread (-1 for hardware-initiated events).
+	Thread int
+	// PMO is the affected PMO ID (0 when not applicable).
+	PMO uint32
+	// Kind classifies the event.
+	Kind TraceKind
+}
+
+// String renders the event as a timeline line.
+func (e TraceEvent) String() string {
+	th := fmt.Sprintf("t%d", e.Thread)
+	if e.Thread < 0 {
+		th = "hw"
+	}
+	return fmt.Sprintf("%10.2fus %-3s pmo%-3d %s",
+		params.ToMicros(e.Time), th, e.PMO, e.Kind)
+}
+
+// tracer is a bounded ring of protection events. A nil tracer costs one
+// nil check per event site.
+type tracer struct {
+	ring  []TraceEvent
+	next  int
+	total uint64
+}
+
+// EnableTrace starts recording the last `keep` protection events.
+func (r *Runtime) EnableTrace(keep int) {
+	if keep <= 0 {
+		keep = 256
+	}
+	r.trace = &tracer{ring: make([]TraceEvent, 0, keep)}
+}
+
+// TraceEvents returns the recorded events in time order and the total
+// number of events observed (which may exceed the retained window).
+func (r *Runtime) TraceEvents() ([]TraceEvent, uint64) {
+	if r.trace == nil {
+		return nil, 0
+	}
+	t := r.trace
+	out := make([]TraceEvent, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out, t.total
+}
+
+// emit records one event (no-op without EnableTrace).
+func (r *Runtime) emit(time uint64, thread int, pmoID uint32, kind TraceKind) {
+	t := r.trace
+	if t == nil {
+		return
+	}
+	t.total++
+	ev := TraceEvent{Time: time, Thread: thread, PMO: pmoID, Kind: kind}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		t.next = len(t.ring) % cap(t.ring)
+		return
+	}
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % cap(t.ring)
+}

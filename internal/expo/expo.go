@@ -1,0 +1,220 @@
+// Package expo measures exposure: the central security metric of TERP
+// (Definition 5). It tracks process-level exposure windows (EW — time a
+// PMO is mapped at one location) and thread exposure windows (TEW — time
+// one thread holds access permission), and computes the statistics the
+// paper reports in Tables III and IV: average and maximum EW, exposure
+// rate ER = Time(exposed)/Time(all), average TEW and thread exposure rate
+// TER. A randomization ends the current EW and starts a new one, because
+// the location learned by an attacker becomes useless (Theorem 6).
+package expo
+
+import "fmt"
+
+// Series accumulates window lengths without storing each one.
+type Series struct {
+	// Count is the number of closed windows.
+	Count uint64
+	// Sum is the total of all window lengths in cycles.
+	Sum uint64
+	// Max is the longest window observed.
+	Max uint64
+}
+
+func (s *Series) add(n uint64) {
+	s.Count++
+	s.Sum += n
+	if n > s.Max {
+		s.Max = n
+	}
+}
+
+// Avg returns the mean window length in cycles.
+func (s *Series) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// tewKey identifies one thread's hold on one PMO.
+type tewKey struct {
+	thread int
+	pmo    uint32
+}
+
+// Tracker records exposure windows for every PMO and thread of one run.
+type Tracker struct {
+	ews     map[uint32]*Series
+	ewOpen  map[uint32]uint64 // PMO -> open time
+	tews    map[uint32]*Series
+	tewOpen map[tewKey]uint64
+}
+
+// NewTracker creates an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		ews:     make(map[uint32]*Series),
+		ewOpen:  make(map[uint32]uint64),
+		tews:    make(map[uint32]*Series),
+		tewOpen: make(map[tewKey]uint64),
+	}
+}
+
+// EWOpen records a real attach of the PMO at time now.
+func (t *Tracker) EWOpen(pmo uint32, now uint64) {
+	if _, open := t.ewOpen[pmo]; open {
+		return // already open; idempotent
+	}
+	t.ewOpen[pmo] = now
+}
+
+// EWClose records a real detach of the PMO at time now.
+func (t *Tracker) EWClose(pmo uint32, now uint64) {
+	start, open := t.ewOpen[pmo]
+	if !open {
+		return
+	}
+	delete(t.ewOpen, pmo)
+	t.series(t.ews, pmo).add(now - start)
+}
+
+// EWRandomized records a space-layout randomization of an attached PMO:
+// the current window closes (the old location is dead) and a new one
+// opens immediately at the new location.
+func (t *Tracker) EWRandomized(pmo uint32, now uint64) {
+	start, open := t.ewOpen[pmo]
+	if !open {
+		return
+	}
+	t.series(t.ews, pmo).add(now - start)
+	t.ewOpen[pmo] = now
+}
+
+// TEWOpen records thread th gaining access permission to the PMO.
+func (t *Tracker) TEWOpen(th int, pmo uint32, now uint64) {
+	k := tewKey{th, pmo}
+	if _, open := t.tewOpen[k]; open {
+		return
+	}
+	t.tewOpen[k] = now
+}
+
+// TEWClose records thread th losing access permission to the PMO.
+func (t *Tracker) TEWClose(th int, pmo uint32, now uint64) {
+	k := tewKey{th, pmo}
+	start, open := t.tewOpen[k]
+	if !open {
+		return
+	}
+	delete(t.tewOpen, k)
+	t.series(t.tews, pmo).add(now - start)
+}
+
+// Finish closes every window still open at end-of-run time now.
+func (t *Tracker) Finish(now uint64) {
+	for pmo, start := range t.ewOpen {
+		t.series(t.ews, pmo).add(now - start)
+		delete(t.ewOpen, pmo)
+	}
+	for k, start := range t.tewOpen {
+		t.series(t.tews, k.pmo).add(now - start)
+		delete(t.tewOpen, k)
+	}
+}
+
+func (t *Tracker) series(m map[uint32]*Series, pmo uint32) *Series {
+	s := m[pmo]
+	if s == nil {
+		s = &Series{}
+		m[pmo] = s
+	}
+	return s
+}
+
+// Stats is the per-run exposure summary reported in Tables III and IV.
+type Stats struct {
+	// PMOs is the number of PMOs that were ever exposed.
+	PMOs int
+	// AvgEW and MaxEW are the mean and maximum exposure window lengths
+	// in cycles, averaged over PMOs as in the paper.
+	AvgEW, MaxEW float64
+	// ER is the exposure rate: sum of EWs divided by total time,
+	// averaged over PMOs.
+	ER float64
+	// AvgTEW and MaxTEW are thread exposure window statistics.
+	AvgTEW, MaxTEW float64
+	// TER is the thread exposure rate.
+	TER float64
+	// EWCount and TEWCount are the numbers of closed windows.
+	EWCount, TEWCount uint64
+}
+
+// String renders the stats in a Table III-style row fragment.
+func (s Stats) String() string {
+	return fmt.Sprintf("EW avg/max %.1f/%.1f ER %.1f%% TEW %.2f TER %.1f%%",
+		s.AvgEW, s.MaxEW, s.ER*100, s.AvgTEW, s.TER*100)
+}
+
+// Collect computes the exposure summary for a run of the given total
+// duration in cycles. Call Finish first. Per the paper, EW/ER values are
+// averaged over all PMOs, and ER/TER divide exposed time by total time.
+func (t *Tracker) Collect(total uint64) Stats {
+	var st Stats
+	if total == 0 {
+		return st
+	}
+	for _, s := range t.ews {
+		st.PMOs++
+		st.AvgEW += s.Avg()
+		if float64(s.Max) > st.MaxEW {
+			st.MaxEW = float64(s.Max)
+		}
+		st.ER += float64(s.Sum) / float64(total)
+		st.EWCount += s.Count
+	}
+	if st.PMOs > 0 {
+		st.AvgEW /= float64(st.PMOs)
+		st.ER /= float64(st.PMOs)
+	}
+	n := 0
+	for _, s := range t.tews {
+		n++
+		st.AvgTEW += s.Avg()
+		if float64(s.Max) > st.MaxTEW {
+			st.MaxTEW = float64(s.Max)
+		}
+		st.TER += float64(s.Sum) / float64(total)
+		st.TEWCount += s.Count
+	}
+	if n > 0 {
+		st.AvgTEW /= float64(n)
+		st.TER /= float64(n)
+	}
+	return st
+}
+
+// PMOStats returns the per-PMO exposure summary for a run of the given
+// total duration — the per-PMO values Tables III/IV average.
+func (t *Tracker) PMOStats(total uint64) map[uint32]Stats {
+	out := make(map[uint32]Stats, len(t.ews))
+	if total == 0 {
+		return out
+	}
+	for pmo, s := range t.ews {
+		st := Stats{
+			PMOs:    1,
+			AvgEW:   s.Avg(),
+			MaxEW:   float64(s.Max),
+			ER:      float64(s.Sum) / float64(total),
+			EWCount: s.Count,
+		}
+		if ts, ok := t.tews[pmo]; ok {
+			st.AvgTEW = ts.Avg()
+			st.MaxTEW = float64(ts.Max)
+			st.TER = float64(ts.Sum) / float64(total)
+			st.TEWCount = ts.Count
+		}
+		out[pmo] = st
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/nvm"
+	"repro/internal/paging"
+	"repro/internal/params"
+	"repro/internal/pmo"
+	"repro/internal/sim"
+	"repro/internal/terpc"
+)
+
+// genKernel emits a random but deterministic TPL program whose main
+// returns a value derived from all its PMO state, so any protection-
+// induced corruption or divergence shows up in the result.
+func genKernel(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("pmo a[128];\npmo b[128];\n\nfunc main() {\n  var i; var x; var acc;\n")
+	seed := r.Intn(1000)
+	fmt.Fprintf(&b, "  for (i = 0; i < 128; i = i + 1) { a[i] = (i * %d) %% 251; }\n", 17+seed)
+	stmts := 2 + r.Intn(5)
+	for s := 0; s < stmts; s++ {
+		switch r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "  for (i = 0; i < 128; i = i + 1) { b[i] = a[i] * %d + %d; }\n",
+				1+r.Intn(7), r.Intn(100))
+		case 1:
+			fmt.Fprintf(&b, "  for (i = 1; i < 128; i = i + 1) { a[i] = a[i] + a[i - 1]; }\n")
+		case 2:
+			fmt.Fprintf(&b, "  for (i = 0; i < 128; i = i + 1) { if (a[i] %% %d == 0) { b[i %% 128] = b[i %% 128] + 1; } }\n",
+				2+r.Intn(6))
+		default:
+			fmt.Fprintf(&b, "  compute(%d);\n", 100+r.Intn(20000))
+		}
+	}
+	b.WriteString("  acc = 0;\n  for (i = 0; i < 128; i = i + 1) { acc = acc + a[i] * 3 + b[i]; }\n")
+	b.WriteString("  return acc;\n}\n")
+	return b.String()
+}
+
+// runProgram compiles src (optionally instrumenting it) and runs main
+// under the scheme, returning the result value.
+func runProgram(t *testing.T, src string, scheme params.Scheme, instrument bool) int64 {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	if instrument {
+		if _, err := terpc.Insert(prog, terpc.Options{
+			EWThreshold:  params.Micros(params.DefaultEWMicros),
+			TEWThreshold: params.Micros(params.DefaultTEWMicros),
+		}); err != nil {
+			t.Fatalf("insert: %v\n%s", err, src)
+		}
+	}
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 1<<28))
+	rt := core.NewRuntime(params.NewConfig(scheme, params.DefaultEWMicros), mgr)
+	ctx := rt.NewThread(sim.SingleThread())
+	m, err := New(prog, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme == params.Unprotected {
+		for _, name := range prog.PMONames() {
+			p, _ := m.PMO(name)
+			if err := ctx.Attach(p, paging.ReadWrite); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v, err := m.Run("main")
+	if err != nil {
+		t.Fatalf("run (%v, instrumented=%v): %v\n%s", scheme, instrument, err, src)
+	}
+	res := rt.Finish(ctx.Now())
+	if res.Counts.Faults != 0 {
+		t.Fatalf("faults = %d under %v\n%s", res.Counts.Faults, scheme, src)
+	}
+	return v
+}
+
+// TestProtectionPreservesResults: for random programs, the value computed
+// under every protection scheme (with compiler insertion) equals the
+// value computed unprotected — protection must never change semantics.
+func TestProtectionPreservesResults(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		src := genKernel(r)
+		want := runProgram(t, src, params.Unprotected, false)
+		for _, scheme := range []params.Scheme{params.TT, params.TM, params.MM, params.PlusCond} {
+			got := runProgram(t, src, scheme, true)
+			if got != want {
+				t.Fatalf("trial %d: %v computed %d, unprotected computed %d\n%s",
+					trial, scheme, got, want, src)
+			}
+		}
+	}
+}
+
+// TestProtectionTimingOrdering: on the same random program, TT must never
+// be slower than TM (the architecture only removes work).
+func TestProtectionTimingOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	timed := func(src string, scheme params.Scheme) uint64 {
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := terpc.Insert(prog, terpc.Options{
+			EWThreshold:  params.Micros(params.DefaultEWMicros),
+			TEWThreshold: params.Micros(params.DefaultTEWMicros),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 1<<28))
+		rt := core.NewRuntime(params.NewConfig(scheme, params.DefaultEWMicros), mgr)
+		ctx := rt.NewThread(sim.SingleThread())
+		m, err := New(prog, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Now()
+	}
+	for trial := 0; trial < 10; trial++ {
+		src := genKernel(r)
+		tt := timed(src, params.TT)
+		tm := timed(src, params.TM)
+		if tt > tm {
+			t.Fatalf("trial %d: TT (%d cycles) slower than TM (%d)\n%s", trial, tt, tm, src)
+		}
+	}
+}
+
+// TestOptimizerPreservesResults: optimizing before insertion must not
+// change the computed value or break the insertion invariants.
+func TestOptimizerPreservesResults(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 15; trial++ {
+		src := genKernel(r)
+		want := runProgram(t, src, params.Unprotected, false)
+
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range prog.Funcs {
+			ir.Optimize(fn)
+		}
+		if _, err := terpc.Insert(prog, terpc.Options{
+			EWThreshold:  params.Micros(params.DefaultEWMicros),
+			TEWThreshold: params.Micros(params.DefaultTEWMicros),
+		}); err != nil {
+			t.Fatalf("insert after optimize: %v\n%s", err, src)
+		}
+		mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 1<<28))
+		rt := core.NewRuntime(params.NewConfig(params.TT, params.DefaultEWMicros), mgr)
+		ctx := rt.NewThread(sim.SingleThread())
+		m, err := New(prog, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Run("main")
+		if err != nil {
+			t.Fatalf("optimized run: %v\n%s", err, src)
+		}
+		if got != want {
+			t.Fatalf("trial %d: optimized computed %d, want %d\n%s", trial, got, want, src)
+		}
+	}
+}

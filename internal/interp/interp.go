@@ -1,0 +1,325 @@
+// Package interp executes compiled IR programs on the TERP runtime: it
+// creates one PMO per persistent array declaration (the paper's SPEC
+// methodology allocates each large heap object as a PMO), dispatches
+// instructions with their cycle costs, routes PMO loads and stores through
+// the runtime's full protection path, and executes the attach/detach
+// constructs the compiler pass inserted.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/paging"
+	"repro/internal/pmo"
+)
+
+// Errors of the interpreter.
+var (
+	// ErrNoFunc is returned when the entry function is missing.
+	ErrNoFunc = errors.New("interp: function not found")
+	// ErrBounds is returned for out-of-range array indexing.
+	ErrBounds = errors.New("interp: index out of bounds")
+	// ErrSteps is returned when the step budget is exhausted.
+	ErrSteps = errors.New("interp: step budget exhausted")
+	// ErrDepth is returned on call-stack overflow.
+	ErrDepth = errors.New("interp: call depth exceeded")
+)
+
+// Machine executes one program on behalf of one simulated thread.
+type Machine struct {
+	prog  *ir.Program
+	ctx   *core.ThreadCtx
+	pmos  map[string]*pmo.PMO
+	elems map[string]int64
+	// dram holds volatile array storage and synthetic base addresses.
+	dram     map[string][]int64
+	dramBase map[string]uint64
+
+	// MaxSteps bounds execution (default 2e9).
+	MaxSteps uint64
+	// Steps counts executed instructions.
+	Steps uint64
+
+	depth int
+}
+
+// MaxCallDepth bounds recursion.
+const MaxCallDepth = 256
+
+// New prepares a machine: persistent arrays are created as PMOs in the
+// runtime's manager (or reopened when they already exist, supporting
+// cross-run persistence), volatile arrays are zero-initialized.
+func New(prog *ir.Program, ctx *core.ThreadCtx) (*Machine, error) {
+	m := &Machine{
+		prog:     prog,
+		ctx:      ctx,
+		pmos:     make(map[string]*pmo.PMO),
+		elems:    make(map[string]int64),
+		dram:     make(map[string][]int64),
+		dramBase: make(map[string]uint64),
+		MaxSteps: 2_000_000_000,
+	}
+	mgr := ctx.Runtime().Manager()
+	for _, d := range prog.PMOs {
+		p, err := mgr.Open(d.Name)
+		if errors.Is(err, pmo.ErrNotFound) {
+			p, err = mgr.Create(d.Name, uint64(d.Elems)*8+pmo.DataStart, pmo.ModeRead|pmo.ModeWrite)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.pmos[d.Name] = p
+		m.elems[d.Name] = int64(d.Elems)
+	}
+	base := uint64(1) << 20
+	for _, d := range prog.DRAMs {
+		m.dram[d.Name] = make([]int64, d.Elems)
+		m.dramBase[d.Name] = base
+		base += uint64(d.Elems)*8 + 4096
+	}
+	return m, nil
+}
+
+// SharePMOs copies another machine's PMO handles (multi-threaded runs
+// share the persistent arrays but keep private registers and volatile
+// state private per thread unless shared explicitly).
+func (m *Machine) SharePMOs(o *Machine) {
+	for k, v := range o.pmos {
+		m.pmos[k] = v
+		m.elems[k] = o.elems[k]
+	}
+}
+
+// ShareDRAM makes this machine alias another machine's volatile arrays
+// (OpenMP-style shared memory between worker threads).
+func (m *Machine) ShareDRAM(o *Machine) {
+	for k, v := range o.dram {
+		m.dram[k] = v
+		m.dramBase[k] = o.dramBase[k]
+	}
+}
+
+// PMO returns the PMO backing a persistent array.
+func (m *Machine) PMO(name string) (*pmo.PMO, bool) {
+	p, ok := m.pmos[name]
+	return p, ok
+}
+
+// Run executes the named function with the given arguments and returns
+// its result.
+func (m *Machine) Run(fn string, args ...int64) (int64, error) {
+	f, ok := m.prog.Funcs[fn]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoFunc, fn)
+	}
+	return m.call(f, args)
+}
+
+func (m *Machine) call(f *ir.Func, args []int64) (int64, error) {
+	if m.depth >= MaxCallDepth {
+		return 0, ErrDepth
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+
+	regs := make([]int64, f.NumRegs)
+	for i, p := range f.Params {
+		if i < len(args) {
+			regs[p] = args[i]
+		}
+	}
+	b := f.Blocks[f.Entry]
+	for {
+		for _, in := range b.Instrs {
+			m.Steps++
+			if m.Steps > m.MaxSteps {
+				return 0, ErrSteps
+			}
+			if err := m.exec(f, &in, regs); err != nil {
+				return 0, fmt.Errorf("%s b%d: %w", f.Name, b.ID, err)
+			}
+		}
+		m.ctx.Compute(1) // terminator
+		switch b.Term {
+		case ir.Ret:
+			if b.Cond >= 0 {
+				return regs[b.Cond], nil
+			}
+			return 0, nil
+		case ir.Jmp:
+			b = f.Blocks[b.Succs[0]]
+		case ir.Br:
+			if regs[b.Cond] != 0 {
+				b = f.Blocks[b.Succs[0]]
+			} else {
+				b = f.Blocks[b.Succs[1]]
+			}
+		}
+	}
+}
+
+func (m *Machine) exec(f *ir.Func, in *ir.Instr, regs []int64) error {
+	switch in.Op {
+	case ir.Const:
+		m.ctx.Compute(1)
+		regs[in.Dst] = in.Imm
+	case ir.Mov:
+		m.ctx.Compute(1)
+		regs[in.Dst] = regs[in.A]
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
+		m.ctx.Compute(1)
+		regs[in.Dst] = alu(in.Op, regs[in.A], regs[in.B])
+	case ir.Compute:
+		m.ctx.Compute(uint64(in.Imm))
+	case ir.LoadPM:
+		oid, err := m.oid(in.Sym, regs[in.A])
+		if err != nil {
+			return err
+		}
+		v, err := m.ctx.Load(oid)
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = int64(v)
+	case ir.StorePM:
+		oid, err := m.oid(in.Sym, regs[in.A])
+		if err != nil {
+			return err
+		}
+		if err := m.ctx.Store(oid, uint64(regs[in.B])); err != nil {
+			return err
+		}
+	case ir.LoadDRAM:
+		arr, ok := m.dram[in.Sym]
+		if !ok {
+			return fmt.Errorf("interp: unknown array %q", in.Sym)
+		}
+		idx := regs[in.A]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fmt.Errorf("%w: %s[%d] of %d", ErrBounds, in.Sym, idx, len(arr))
+		}
+		m.ctx.DRAMAccess(m.dramBase[in.Sym]+uint64(idx)*8, 8)
+		regs[in.Dst] = arr[idx]
+	case ir.StoreDRAM:
+		arr, ok := m.dram[in.Sym]
+		if !ok {
+			return fmt.Errorf("interp: unknown array %q", in.Sym)
+		}
+		idx := regs[in.A]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fmt.Errorf("%w: %s[%d] of %d", ErrBounds, in.Sym, idx, len(arr))
+		}
+		m.ctx.DRAMAccess(m.dramBase[in.Sym]+uint64(idx)*8, 8)
+		arr[idx] = regs[in.B]
+	case ir.Call:
+		callee, ok := m.prog.Funcs[in.Sym]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoFunc, in.Sym)
+		}
+		args := make([]int64, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = regs[r]
+		}
+		m.ctx.Compute(2) // call/return overhead
+		v, err := m.call(callee, args)
+		if err != nil {
+			return err
+		}
+		if in.Dst >= 0 {
+			regs[in.Dst] = v
+		}
+	case ir.Attach:
+		p, ok := m.pmos[in.Sym]
+		if !ok {
+			return fmt.Errorf("interp: attach unknown PMO %q", in.Sym)
+		}
+		return m.ctx.Attach(p, permFromBits(in.Imm))
+	case ir.Detach:
+		p, ok := m.pmos[in.Sym]
+		if !ok {
+			return fmt.Errorf("interp: detach unknown PMO %q", in.Sym)
+		}
+		return m.ctx.Detach(p)
+	default:
+		return fmt.Errorf("interp: bad opcode %v", in.Op)
+	}
+	return nil
+}
+
+// oid translates an element index into the PMO object address.
+func (m *Machine) oid(sym string, idx int64) (pmo.OID, error) {
+	p, ok := m.pmos[sym]
+	if !ok {
+		return pmo.NilOID, fmt.Errorf("interp: unknown PMO %q", sym)
+	}
+	if idx < 0 || idx >= m.elems[sym] {
+		return pmo.NilOID, fmt.Errorf("%w: %s[%d] of %d", ErrBounds, sym, idx, m.elems[sym])
+	}
+	return pmo.MakeOID(p.ID, pmo.DataStart+uint64(idx)*8), nil
+}
+
+func permFromBits(b int64) paging.Perm {
+	var p paging.Perm
+	if b&1 != 0 {
+		p |= paging.PermRead
+	}
+	if b&2 != 0 {
+		p |= paging.PermWrite
+	}
+	return p
+}
+
+func alu(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.Mod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (uint64(b) & 63)
+	case ir.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case ir.CmpEQ:
+		return b2i(a == b)
+	case ir.CmpNE:
+		return b2i(a != b)
+	case ir.CmpLT:
+		return b2i(a < b)
+	case ir.CmpLE:
+		return b2i(a <= b)
+	case ir.CmpGT:
+		return b2i(a > b)
+	case ir.CmpGE:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,253 @@
+package ir
+
+import "sort"
+
+// Analysis bundles the control-flow facts the insertion pass consumes.
+type Analysis struct {
+	f *Func
+
+	// Preds and Succs are the CFG edges (Succs copied from blocks).
+	Preds, Succs [][]int
+	// IDom and IPDom are immediate (post-)dominators, -1 at the roots.
+	IDom, IPDom []int
+	// RPO is a reverse postorder of reachable blocks.
+	RPO []int
+	// Loops are the natural loops, outermost-last.
+	Loops []*Loop
+	// LoopOf maps a block to its innermost containing loop (or nil).
+	LoopOf []*Loop
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	// Header is the loop header block.
+	Header int
+	// Blocks is the set of member block IDs.
+	Blocks map[int]bool
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Trips is the trip-count estimate used in LET computation.
+	Trips int
+}
+
+// DefaultTrips is the assumed iteration count for loops whose bounds are
+// not statically known (the paper assumes a large number, e.g. 1k).
+const DefaultTrips = 1000
+
+// Analyze computes the full analysis bundle for a function.
+func Analyze(f *Func) *Analysis {
+	n := len(f.Blocks)
+	a := &Analysis{
+		f:      f,
+		Preds:  make([][]int, n),
+		Succs:  make([][]int, n),
+		LoopOf: make([]*Loop, n),
+	}
+	for _, b := range f.Blocks {
+		a.Succs[b.ID] = append([]int(nil), b.Succs...)
+		for _, s := range b.Succs {
+			a.Preds[s] = append(a.Preds[s], b.ID)
+		}
+	}
+	a.RPO = reversePostorder(n, f.Entry, a.Succs)
+	a.IDom = dominators(n, f.Entry, a.Preds, a.RPO)
+	a.IPDom = postDominators(f, a)
+	a.findLoops()
+	return a
+}
+
+func reversePostorder(n, entry int, succs [][]int) []int {
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// dominators is the Cooper-Harvey-Kennedy iterative algorithm.
+func dominators(n, entry int, preds [][]int, rpo []int) []int {
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	order := make([]int, n) // rpo index per block
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+	return idom
+}
+
+// postDominators computes immediate post-dominators over the reverse CFG
+// with a virtual exit joining all Ret blocks.
+func postDominators(f *Func, a *Analysis) []int {
+	n := len(f.Blocks)
+	virt := n // virtual exit node
+	preds := make([][]int, n+1)
+	succs := make([][]int, n+1)
+	for _, b := range f.Blocks {
+		// Reverse edges.
+		for _, s := range b.Succs {
+			succs[s] = append(succs[s], b.ID)
+			preds[b.ID] = append(preds[b.ID], s)
+		}
+		if b.Term == Ret {
+			succs[virt] = append(succs[virt], b.ID)
+			preds[b.ID] = append(preds[b.ID], virt)
+		}
+	}
+	rpo := reversePostorder(n+1, virt, succs)
+	ipdom := dominators(n+1, virt, preds, rpo)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		d := ipdom[i]
+		if d == virt {
+			d = -1
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Dominates reports whether block a dominates block b.
+func (an *Analysis) Dominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = an.IDom[b]
+	}
+	return false
+}
+
+// PostDominates reports whether block a post-dominates block b.
+func (an *Analysis) PostDominates(a, b int) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = an.IPDom[b]
+	}
+	return false
+}
+
+// findLoops discovers natural loops from back edges (t -> h with h
+// dominating t) and nests them.
+func (an *Analysis) findLoops() {
+	byHeader := make(map[int]*Loop)
+	for _, b := range an.f.Blocks {
+		for _, s := range b.Succs {
+			if an.Dominates(s, b.ID) {
+				// Back edge b -> s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}, Trips: DefaultTrips}
+					if th := an.f.Blocks[s].TripHint; th > 0 {
+						l.Trips = th
+					}
+					byHeader[s] = l
+				}
+				// Collect the loop body by backward walk from t.
+				var stack []int
+				if !l.Blocks[b.ID] {
+					l.Blocks[b.ID] = true
+					stack = append(stack, b.ID)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range an.Preds[x] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, l := range byHeader {
+		an.Loops = append(an.Loops, l)
+	}
+	// Sort inner-first (smaller loops first) for nesting and LoopOf.
+	sort.Slice(an.Loops, func(i, j int) bool {
+		if len(an.Loops[i].Blocks) != len(an.Loops[j].Blocks) {
+			return len(an.Loops[i].Blocks) < len(an.Loops[j].Blocks)
+		}
+		return an.Loops[i].Header < an.Loops[j].Header
+	})
+	for i, inner := range an.Loops {
+		for _, b := range sortedKeys(inner.Blocks) {
+			if an.LoopOf[b] == nil {
+				an.LoopOf[b] = inner
+			}
+		}
+		for j := i + 1; j < len(an.Loops); j++ {
+			outer := an.Loops[j]
+			if outer.Blocks[inner.Header] && outer != inner {
+				inner.Parent = outer
+				break
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,300 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds: b0 -> b1 / b2 -> b3 (classic if/else join).
+func diamond() *Func {
+	f := NewFunc("diamond")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	b0.Emit(Instr{Op: Const, Dst: c, Imm: 1})
+	b0.Term, b0.Cond, b0.Succs = Br, c, []int{b1.ID, b2.ID}
+	b1.Term, b1.Succs = Jmp, []int{b3.ID}
+	b2.Term, b2.Succs = Jmp, []int{b3.ID}
+	b3.Term, b3.Cond = Ret, -1
+	return f
+}
+
+// loopFunc builds: b0 -> b1(header) -> b2(body) -> b1; b1 -> b3(exit).
+func loopFunc(trips int) *Func {
+	f := NewFunc("loop")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	b0.Term, b0.Succs = Jmp, []int{b1.ID}
+	b1.Emit(Instr{Op: Const, Dst: c, Imm: 1})
+	b1.Term, b1.Cond, b1.Succs = Br, c, []int{b2.ID, b3.ID}
+	b1.TripHint = trips
+	b2.Emit(Instr{Op: Compute, Imm: 10})
+	b2.Term, b2.Succs = Jmp, []int{b1.ID}
+	b3.Term, b3.Cond = Ret, -1
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	f := diamond()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewFunc("bad")
+	b := bad.NewBlock()
+	b.Term, b.Succs = Jmp, []int{5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range successor accepted")
+	}
+	bad2 := NewFunc("bad2")
+	b2 := bad2.NewBlock()
+	b2.Term, b2.Succs = Br, []int{0}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("br with one successor accepted")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := diamond()
+	a := Analyze(f)
+	if a.IDom[0] != -1 {
+		t.Fatalf("entry idom = %d", a.IDom[0])
+	}
+	for _, b := range []int{1, 2, 3} {
+		if a.IDom[b] != 0 {
+			t.Fatalf("idom[%d] = %d, want 0", b, a.IDom[b])
+		}
+	}
+	if !a.Dominates(0, 3) || a.Dominates(1, 3) {
+		t.Fatal("dominance wrong on diamond")
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	f := diamond()
+	a := Analyze(f)
+	if !a.PostDominates(3, 0) || !a.PostDominates(3, 1) {
+		t.Fatal("join must post-dominate all")
+	}
+	if a.PostDominates(1, 0) {
+		t.Fatal("branch arm cannot post-dominate entry")
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := loopFunc(0)
+	a := Analyze(f)
+	if len(a.Loops) != 1 {
+		t.Fatalf("loops = %d", len(a.Loops))
+	}
+	l := a.Loops[0]
+	if l.Header != 1 {
+		t.Fatalf("header = %d", l.Header)
+	}
+	if !l.Blocks[1] || !l.Blocks[2] || l.Blocks[0] || l.Blocks[3] {
+		t.Fatalf("loop blocks = %v", l.Blocks)
+	}
+	if l.Trips != DefaultTrips {
+		t.Fatalf("trips = %d, want default %d", l.Trips, DefaultTrips)
+	}
+	if a.LoopOf[2] != l || a.LoopOf[0] != nil {
+		t.Fatal("LoopOf wrong")
+	}
+}
+
+func TestLoopTripHint(t *testing.T) {
+	f := loopFunc(50)
+	a := Analyze(f)
+	if a.Loops[0].Trips != 50 {
+		t.Fatalf("trips = %d", a.Loops[0].Trips)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// b0 -> b1(outer hdr) -> b2(inner hdr) -> b3(inner body) -> b2;
+	// b2 -> b4 -> b1; b1 -> b5(ret).
+	f := NewFunc("nested")
+	blocks := make([]*Block, 6)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	c := f.NewReg()
+	blocks[0].Term, blocks[0].Succs = Jmp, []int{1}
+	blocks[1].Emit(Instr{Op: Const, Dst: c, Imm: 1})
+	blocks[1].Term, blocks[1].Cond, blocks[1].Succs = Br, c, []int{2, 5}
+	blocks[2].Term, blocks[2].Cond, blocks[2].Succs = Br, c, []int{3, 4}
+	blocks[3].Term, blocks[3].Succs = Jmp, []int{2}
+	blocks[4].Term, blocks[4].Succs = Jmp, []int{1}
+	blocks[5].Term, blocks[5].Cond = Ret, -1
+	a := Analyze(f)
+	if len(a.Loops) != 2 {
+		t.Fatalf("loops = %d", len(a.Loops))
+	}
+	inner, outer := a.Loops[0], a.Loops[1]
+	if len(inner.Blocks) > len(outer.Blocks) {
+		inner, outer = outer, inner
+	}
+	if inner.Header != 2 || outer.Header != 1 {
+		t.Fatalf("headers = %d, %d", inner.Header, outer.Header)
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop not nested in outer")
+	}
+	if a.LoopOf[3] != inner {
+		t.Fatal("LoopOf[3] should be inner loop")
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	f := diamond()
+	a := Analyze(f)
+	if a.RPO[0] != 0 {
+		t.Fatalf("rpo = %v", a.RPO)
+	}
+	if len(a.RPO) != 4 {
+		t.Fatalf("rpo misses blocks: %v", a.RPO)
+	}
+	// The join must come after both arms.
+	pos := map[int]int{}
+	for i, b := range a.RPO {
+		pos[b] = i
+	}
+	if pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Fatalf("join ordered before arms: %v", a.RPO)
+	}
+}
+
+func TestUnreachableBlockIgnored(t *testing.T) {
+	f := diamond()
+	dead := f.NewBlock()
+	dead.Term, dead.Cond = Ret, -1
+	a := Analyze(f)
+	if len(a.RPO) != 4 {
+		t.Fatalf("unreachable block in RPO: %v", a.RPO)
+	}
+	if a.Dominates(0, dead.ID) {
+		t.Fatal("entry dominates unreachable block")
+	}
+}
+
+func unitCost(int) uint64 { return 1 }
+
+func TestRegionsDiamond(t *testing.T) {
+	f := diamond()
+	a := Analyze(f)
+	rs := BuildRegions(f, a, unitCost)
+	if rs.Root == nil || rs.Root.Exit != -1 || rs.Root.Size() != 4 {
+		t.Fatalf("root region wrong: %+v", rs.Root)
+	}
+	// The diamond (b0..b2, exit b3) must be found as a region.
+	found := false
+	for _, r := range rs.All {
+		if r.Header == 0 && r.Exit == 3 && r.Size() == 3 {
+			found = true
+			// LET of the diamond: longest path b0 -> arm = 2.
+			if r.LET != 2 {
+				t.Fatalf("diamond LET = %d, want 2", r.LET)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("diamond region not found")
+	}
+	// Chains: block 1's smallest region is {1} with exit 3 or the
+	// diamond; the chain must end at the root.
+	chain := rs.ChainOf(1)
+	if len(chain) == 0 || chain[len(chain)-1] != rs.Root {
+		t.Fatalf("chain of b1: %d entries", len(chain))
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i].Size() < chain[i-1].Size() {
+			t.Fatal("chain not sorted by size")
+		}
+	}
+}
+
+func TestRegionLETMultipliesLoopTrips(t *testing.T) {
+	f := loopFunc(100)
+	a := Analyze(f)
+	// Body block b2 has Compute 10 plus 1-cycle const in header.
+	rs := BuildRegions(f, a, func(b int) uint64 {
+		var c uint64
+		for _, in := range f.Blocks[b].Instrs {
+			if in.Op == Compute {
+				c += uint64(in.Imm)
+			} else {
+				c++
+			}
+		}
+		return c
+	})
+	// The root region contains the loop: LET must scale with trips.
+	if rs.Root.LET < 100*10 {
+		t.Fatalf("root LET %d does not account for trips", rs.Root.LET)
+	}
+	// A region for the loop (header 1, exit 3) must exist and multiply.
+	for _, r := range rs.All {
+		if r.Header == 1 && r.Exit == 3 {
+			if r.LET < 100*10 {
+				t.Fatalf("loop region LET = %d", r.LET)
+			}
+			return
+		}
+	}
+	t.Fatal("loop region not found")
+}
+
+func TestRegionParentNesting(t *testing.T) {
+	f := loopFunc(10)
+	a := Analyze(f)
+	rs := BuildRegions(f, a, unitCost)
+	for _, r := range rs.All {
+		if r == rs.Root {
+			if r.Parent != nil {
+				t.Fatal("root has a parent")
+			}
+			continue
+		}
+		if r.Parent == nil {
+			t.Fatalf("region (h=%d,x=%d) has no parent", r.Header, r.Exit)
+		}
+		if !containsAll(r.Parent.Blocks, r.Blocks) {
+			t.Fatal("parent does not contain child")
+		}
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	f := loopFunc(3)
+	f.Blocks[2].Emit(Instr{Op: LoadPM, Dst: 0, A: 0, Sym: "grid"})
+	f.Blocks[2].Emit(Instr{Op: StorePM, A: 0, B: 0, Sym: "grid"})
+	f.Blocks[2].Emit(Instr{Op: Attach, Sym: "grid", Imm: 3})
+	f.Blocks[2].Emit(Instr{Op: Detach, Sym: "grid"})
+	f.Blocks[2].Emit(Instr{Op: Call, Dst: 0, Sym: "f", Args: []int{0}})
+	if s := f.String(); len(s) < 50 {
+		t.Fatalf("dump too short: %q", s)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for o := Const; o <= Detach; o++ {
+		if o.String() == "" {
+			t.Fatalf("op %d empty", o)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	f := loopFunc(3)
+	f.Blocks[2].Emit(Instr{Op: Attach, Sym: "g", Imm: 3})
+	f.Blocks[2].Emit(Instr{Op: StorePM, A: 0, B: 0, Sym: "g"})
+	f.Blocks[2].Emit(Instr{Op: Detach, Sym: "g"})
+	dot := f.DOT()
+	for _, want := range []string{"digraph", "attach g", "detach g", "storepm g", "trips=3", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Branch else-edges are dashed.
+	if !strings.Contains(dot, "style=dashed") {
+		t.Fatal("no dashed branch edge")
+	}
+}

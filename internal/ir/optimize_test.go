@@ -1,0 +1,138 @@
+package ir
+
+import "testing"
+
+func TestConstantFolding(t *testing.T) {
+	f := NewFunc("fold")
+	b := f.NewBlock()
+	r1, r2, r3 := f.NewReg(), f.NewReg(), f.NewReg()
+	b.Emit(Instr{Op: Const, Dst: r1, Imm: 6})
+	b.Emit(Instr{Op: Const, Dst: r2, Imm: 7})
+	b.Emit(Instr{Op: Mul, Dst: r3, A: r1, B: r2})
+	b.Emit(Instr{Op: Mov, Dst: r1, A: r3})
+	b.Term, b.Cond = Ret, r1
+	st := Optimize(f)
+	if st.Folded < 2 {
+		t.Fatalf("folded = %d", st.Folded)
+	}
+	// The Mul must now be a Const 42.
+	found := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == Const && in.Imm == 42 {
+			found = true
+		}
+		if in.Op == Mul {
+			t.Fatal("multiply not folded")
+		}
+	}
+	if !found {
+		t.Fatal("folded constant missing")
+	}
+}
+
+func TestBranchSimplification(t *testing.T) {
+	f := NewFunc("br")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	b0.Emit(Instr{Op: Const, Dst: c, Imm: 1})
+	b0.Term, b0.Cond, b0.Succs = Br, c, []int{b1.ID, b2.ID}
+	b1.Term, b1.Cond = Ret, -1
+	b2.Term, b2.Cond = Ret, -1
+	st := Optimize(f)
+	if st.Branches != 1 {
+		t.Fatalf("branches = %d", st.Branches)
+	}
+	if f.Blocks[0].Term != Jmp {
+		t.Fatal("branch not converted")
+	}
+	// The untaken arm becomes unreachable and is pruned.
+	if st.RemovedBlocks != 1 || len(f.Blocks) != 2 {
+		t.Fatalf("removed = %d, blocks = %d", st.RemovedBlocks, len(f.Blocks))
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalseBranchTakesElse(t *testing.T) {
+	f := NewFunc("br0")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	b0.Emit(Instr{Op: Const, Dst: c, Imm: 0})
+	b0.Term, b0.Cond, b0.Succs = Br, c, []int{b1.ID, b2.ID}
+	b1.Emit(Instr{Op: Compute, Imm: 1})
+	b1.Term, b1.Cond = Ret, -1
+	b2.Emit(Instr{Op: Compute, Imm: 2})
+	b2.Term, b2.Cond = Ret, -1
+	Optimize(f)
+	// Entry must jump to the else arm (original b2).
+	tgt := f.Blocks[f.Entry].Succs[0]
+	if f.Blocks[tgt].Instrs[0].Imm != 2 {
+		t.Fatal("false branch took then-arm")
+	}
+}
+
+func TestLoadsBlockFolding(t *testing.T) {
+	f := NewFunc("load")
+	b := f.NewBlock()
+	r1, r2 := f.NewReg(), f.NewReg()
+	b.Emit(Instr{Op: Const, Dst: r1, Imm: 3})
+	b.Emit(Instr{Op: LoadPM, Dst: r1, A: r1, Sym: "p"}) // kills r1
+	b.Emit(Instr{Op: Add, Dst: r2, A: r1, B: r1})
+	b.Term, b.Cond = Ret, r2
+	st := Optimize(f)
+	if st.Folded != 0 {
+		t.Fatalf("folded through a load: %d", st.Folded)
+	}
+}
+
+func TestOptimizeFixedPoint(t *testing.T) {
+	// const -> branch -> new constant path -> more folding: needs the
+	// outer fixed-point loop.
+	f := NewFunc("fix")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	v := f.NewReg()
+	b0.Emit(Instr{Op: Const, Dst: c, Imm: 1})
+	b0.Term, b0.Cond, b0.Succs = Br, c, []int{b1.ID, b2.ID}
+	b1.Emit(Instr{Op: Const, Dst: v, Imm: 5})
+	b1.Emit(Instr{Op: Add, Dst: v, A: v, B: v})
+	b1.Term, b1.Succs = Jmp, []int{b3.ID}
+	b2.Term, b2.Succs = Jmp, []int{b3.ID}
+	b3.Term, b3.Cond = Ret, v
+	st := Optimize(f)
+	if st.Folded == 0 || st.Branches == 0 || st.RemovedBlocks == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizePreservesAttachDetach(t *testing.T) {
+	f := NewFunc("prot")
+	b := f.NewBlock()
+	r := f.NewReg()
+	b.Emit(Instr{Op: Attach, Sym: "p", Imm: 3})
+	b.Emit(Instr{Op: Const, Dst: r, Imm: 1})
+	b.Emit(Instr{Op: StorePM, A: r, B: r, Sym: "p"})
+	b.Emit(Instr{Op: Detach, Sym: "p"})
+	b.Term, b.Cond = Ret, -1
+	Optimize(f)
+	ops := []Op{}
+	for _, in := range f.Blocks[0].Instrs {
+		ops = append(ops, in.Op)
+	}
+	hasAt, hasDt := false, false
+	for _, o := range ops {
+		if o == Attach {
+			hasAt = true
+		}
+		if o == Detach {
+			hasDt = true
+		}
+	}
+	if !hasAt || !hasDt {
+		t.Fatalf("protection ops lost: %v", ops)
+	}
+}

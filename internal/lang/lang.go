@@ -1,0 +1,723 @@
+// Package lang implements TPL, the small C-like language the SPEC-style
+// kernels of this reproduction are written in. TPL is the stand-in for
+// the C/OpenMP sources the paper compiles with its LLVM pass: programs
+// declare persistent arrays (each hosted in its own PMO, matching the
+// paper's "each heap object larger than 128KB is a PMO" methodology) and
+// volatile arrays, and define integer functions with if/while/for control
+// flow. The compiler pipeline is Parse (this package) -> Lower (to
+// internal/ir) -> terpc.Insert (attach/detach insertion) -> interp.
+//
+// Grammar (informal):
+//
+//	program  := { "pmo" IDENT "[" INT "]" ";"
+//	            | "var" IDENT "[" INT "]" ";"
+//	            | "func" IDENT "(" [params] ")" block }
+//	stmt     := "var" IDENT ["=" expr] ";"
+//	            | IDENT "=" expr ";" | IDENT "[" expr "]" "=" expr ";"
+//	            | "if" "(" expr ")" block ["else" block]
+//	            | "while" "(" expr ")" block
+//	            | "for" "(" simple ";" expr ";" simple ")" block
+//	            | "return" [expr] ";" | "compute" "(" INT ")" ";"
+//	            | "break" ";" | "continue" ";"
+//	            | expr ";"
+//
+// Expressions are 64-bit integers with the usual arithmetic, comparison,
+// bitwise and (non-short-circuit) logical operators.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// --- tokens ---------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokIdent
+	tokPunct // operators and delimiters
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	// Line is the 1-based source line.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("tpl: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, errf(line, "bad integer %q", src[i:j])
+			}
+			toks = append(toks, token{tokInt, src[i:j], v, line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], 0, line})
+			i = j
+		default:
+			// Two-character operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+					toks = append(toks, token{tokPunct, two, 0, line})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^',
+				'(', ')', '{', '}', '[', ']', ';', ',':
+				toks = append(toks, token{tokPunct, string(c), 0, line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", 0, line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// --- AST ------------------------------------------------------------------
+
+// File is a parsed TPL source file.
+type File struct {
+	// PMOs are the persistent array declarations.
+	PMOs []ArrayDecl
+	// Vars are the volatile global arrays.
+	Vars []ArrayDecl
+	// Funcs are the function definitions, in source order.
+	Funcs []*FuncDecl
+}
+
+// ArrayDecl is a top-level array declaration.
+type ArrayDecl struct {
+	// Name is the array identifier.
+	Name string
+	// Elems is the element count.
+	Elems int
+	// Line is the declaration's source line.
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	// Name is the function identifier.
+	Name string
+	// Params are the parameter names.
+	Params []string
+	// Body is the function body.
+	Body []Stmt
+	// Line is the definition's source line.
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarStmt declares a local variable with an optional initializer.
+type VarStmt struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt assigns to a variable or an array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Line  int
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is a C-style for loop; Init and Post are assignments.
+type ForStmt struct {
+	Init *AssignStmt // may be nil
+	Cond Expr
+	Post *AssignStmt // may be nil
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// ComputeStmt charges a constant number of cycles of opaque work.
+type ComputeStmt struct {
+	Cycles int64
+	Line   int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	Line int
+}
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct {
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ComputeStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// Ident references a local variable or parameter.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// BinExpr is a binary operation; Op is the source operator text.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()    {}
+func (*Ident) exprNode()     {}
+func (*IndexExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+
+// --- parser ---------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses TPL source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch {
+		case p.isIdent("pmo"):
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.PMOs = append(f.PMOs, d)
+		case p.isIdent("var"):
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, d)
+		case p.isIdent("func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(t.line, "expected pmo, var or func, got %q", t.text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isIdent(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return errf(p.cur().line, "expected %q, got %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, int, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", t.line, errf(t.line, "expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, t.line, nil
+}
+
+func (p *parser) arrayDecl() (ArrayDecl, error) {
+	p.next() // pmo | var
+	name, line, err := p.expectIdent()
+	if err != nil {
+		return ArrayDecl{}, err
+	}
+	if err := p.expectPunct("["); err != nil {
+		return ArrayDecl{}, err
+	}
+	t := p.cur()
+	if t.kind != tokInt || t.val <= 0 {
+		return ArrayDecl{}, errf(t.line, "array size must be a positive integer")
+	}
+	p.next()
+	if err := p.expectPunct("]"); err != nil {
+		return ArrayDecl{}, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return ArrayDecl{}, err
+	}
+	return ArrayDecl{Name: name, Elems: int(t.val), Line: line}, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	p.next() // func
+	name, line, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.isPunct(")") {
+		pn, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn)
+		if p.isPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // )
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name, Params: params, Body: body, Line: line}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.isPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(p.cur().line, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isIdent("var"):
+		p.next()
+		name, line, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.isPunct("=") {
+			p.next()
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &VarStmt{Name: name, Init: init, Line: line}, p.expectPunct(";")
+	case p.isIdent("if"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isIdent("else") {
+			p.next()
+			if p.isIdent("if") {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+	case p.isIdent("while"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case p.isIdent("for"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var init, post *AssignStmt
+		if !p.isPunct(";") {
+			s, err := p.simpleAssign()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			s, err := p.simpleAssign()
+			if err != nil {
+				return nil, err
+			}
+			post = s
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Line: t.line}, nil
+	case p.isIdent("return"):
+		p.next()
+		if p.isPunct(";") {
+			p.next()
+			return &ReturnStmt{Line: t.line}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: t.line}, p.expectPunct(";")
+	case p.isIdent("break"):
+		p.next()
+		return &BreakStmt{Line: t.line}, p.expectPunct(";")
+	case p.isIdent("continue"):
+		p.next()
+		return &ContinueStmt{Line: t.line}, p.expectPunct(";")
+	case p.isIdent("compute"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		c := p.cur()
+		if c.kind != tokInt || c.val < 0 {
+			return nil, errf(c.line, "compute() needs a non-negative integer literal")
+		}
+		p.next()
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &ComputeStmt{Cycles: c.val, Line: t.line}, p.expectPunct(";")
+	case t.kind == tokIdent:
+		// assignment or call statement
+		if p.toks[p.pos+1].kind == tokPunct {
+			switch p.toks[p.pos+1].text {
+			case "=", "[":
+				s, err := p.simpleAssign()
+				if err != nil {
+					return nil, err
+				}
+				return s, p.expectPunct(";")
+			}
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Line: t.line}, p.expectPunct(";")
+	default:
+		return nil, errf(t.line, "unexpected token %q", t.text)
+	}
+}
+
+// simpleAssign parses IDENT = expr or IDENT [ expr ] = expr without the
+// trailing semicolon (shared by statements and for-loop clauses).
+func (p *parser) simpleAssign() (*AssignStmt, error) {
+	name, line, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var idx Expr
+	if p.isPunct("[") {
+		p.next()
+		idx, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name, Index: idx, Value: v, Line: line}, nil
+}
+
+// --- expressions (precedence climbing) -------------------------------------
+
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4, "|": 4, "^": 4,
+	"*": 5, "/": 5, "%": 5, "&": 5, "<<": 5, ">>": 5,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return &IntLit{Val: t.val, Line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		switch {
+		case p.isPunct("("):
+			p.next()
+			var args []Expr
+			for !p.isPunct(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.isPunct(",") {
+					p.next()
+				}
+			}
+			p.next()
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		case p.isPunct("["):
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &Ident{Name: t.text, Line: t.line}, nil
+		}
+	case p.isPunct("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, errf(t.line, "unexpected token %q in expression", t.text)
+	}
+}

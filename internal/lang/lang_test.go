@@ -1,0 +1,347 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestParseDeclarations(t *testing.T) {
+	f, err := Parse(`
+pmo grid[1024];
+var tmp[64];
+func main() { return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.PMOs) != 1 || f.PMOs[0].Name != "grid" || f.PMOs[0].Elems != 1024 {
+		t.Fatalf("pmos = %+v", f.PMOs)
+	}
+	if len(f.Vars) != 1 || f.Vars[0].Elems != 64 {
+		t.Fatalf("vars = %+v", f.Vars)
+	}
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %+v", f.Funcs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`pmo x[0];`,                // non-positive size
+		`pmo x[10]`,                // missing semicolon
+		`func f( {`,                // bad params
+		`func f() { var; }`,        // missing name
+		`func f() { x = ; }`,       // missing expr
+		`func f() { if x { } }`,    // missing parens
+		`func f() { compute(n); }`, // non-literal compute
+		`bogus`,                    // unknown top-level
+		`func f() { @ }`,           // bad character
+		`func f() { return 1; `,    // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestErrorHasLine(t *testing.T) {
+	_, err := Parse("pmo ok[4];\nfunc f() {\n  y = 1;\n}")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Compile("pmo ok[4];\nfunc f() {\n  y = 1;\n}")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}
+
+func TestLowerSimpleFunction(t *testing.T) {
+	prog, err := Compile(`
+pmo data[128];
+func main() {
+  var i;
+  i = 3;
+  data[i] = data[i] + 10;
+  return data[i];
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs["main"]
+	if f == nil {
+		t.Fatal("main missing")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loads, stores := 0, 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.LoadPM:
+				loads++
+			case ir.StorePM:
+				stores++
+			}
+		}
+	}
+	if loads != 2 || stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", loads, stores)
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	prog, err := Compile(`
+func abs(x) {
+  if (x < 0) { return 0 - x; }
+  return x;
+}
+func main() {
+  var s; var i;
+  s = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+  }
+  while (s > 100) { s = s - 100; }
+  return abs(s);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestForTripHint(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  var i; var s;
+  for (i = 0; i < 500; i = i + 1) { s = s + i; }
+  return s;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range prog.Funcs["main"].Blocks {
+		if b.TripHint == 500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trip hint 500 not recorded")
+	}
+}
+
+func TestForTripHintStride(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  var i;
+  for (i = 10; i <= 100; i = i + 10) { }
+  return i;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range prog.Funcs["main"].Blocks {
+		if b.TripHint == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("strided trip hint not recorded")
+	}
+}
+
+func TestWhileHasNoTripHint(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  var i;
+  while (i < 10) { i = i + 1; }
+  return i;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range prog.Funcs["main"].Blocks {
+		if b.TripHint != 0 {
+			t.Fatal("while loop must have no static trip hint")
+		}
+	}
+}
+
+func TestDuplicateDeclarationsRejected(t *testing.T) {
+	for _, src := range []string{
+		"pmo a[4];\npmo a[4];\nfunc main() { return 0; }",
+		"pmo a[4];\nvar a[4];\nfunc main() { return 0; }",
+		"pmo main[4];\nfunc main() { return 0; }",
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Fatalf("accepted duplicate: %q", src)
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []string{
+		"func main() { return x; }",               // undeclared var
+		"func main() { var a; var a; return 0; }", // redeclared
+		"func main() { a[0] = 1; return 0; }",     // unknown array
+		"func main() { return zzz(1); }",          // unknown function
+		"func main() { return nothere[0]; }",      // unknown array read
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Fatalf("accepted semantic error: %q", src)
+		}
+	}
+}
+
+func TestUnreachableAfterReturnTolerated(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  return 1;
+  return 2;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Funcs["main"].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndOperators(t *testing.T) {
+	prog, err := Compile(`
+// kernel with every operator
+func main() {
+  var a; var b;
+  a = 6; b = 3;
+  a = a + b - 1 * 2 / 1 % 5;
+  a = (a << 2) >> 1;
+  a = a & 7 | 1 ^ 2;
+  b = (a == 5) + (a != 5) + (a < 5) + (a <= 5) + (a > 5) + (a >= 5);
+  b = (a && b) + (a || b) + (!a) + (-a);
+  return b;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Funcs["main"].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakContinueLowering(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  var i; var s;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i == 10) { break; }
+    if (i % 2 == 0) { continue; }
+    s = s + i;
+  }
+  return s;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Funcs["main"].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	for _, src := range []string{
+		"func main() { break; return 0; }",
+		"func main() { continue; return 0; }",
+		"func main() { if (1) { break; } return 0; }",
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestNestedBreakTargetsInnerLoop(t *testing.T) {
+	prog, err := Compile(`
+func main() {
+  var i; var j; var s;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 100; j = j + 1) {
+      if (j == 2) { break; }
+      s = s + 1;
+    }
+  }
+  return s;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Funcs["main"].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserRobustness throws random byte soup and random mutations of a
+// valid program at the parser: it must return an error or a File, never
+// panic.
+func TestParserRobustness(t *testing.T) {
+	valid := `
+pmo data[64];
+func main() {
+  var i;
+  for (i = 0; i < 64; i = i + 1) { data[i] = i; }
+  return data[7];
+}
+`
+	r := rand.New(rand.NewSource(13))
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("parser panicked: %v", rec)
+		}
+	}()
+	// Random byte soup.
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(128))
+		}
+		_, _ = Parse(string(b))
+		_, _ = Compile(string(b))
+	}
+	// Mutations of the valid program: deletions, swaps, insertions.
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(valid)
+		switch r.Intn(3) {
+		case 0:
+			i := r.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case 1:
+			i, j := r.Intn(len(b)), r.Intn(len(b))
+			b[i], b[j] = b[j], b[i]
+		default:
+			i := r.Intn(len(b))
+			b = append(b[:i], append([]byte{byte(33 + r.Intn(90))}, b[i:]...)...)
+		}
+		_, _ = Compile(string(b))
+	}
+}

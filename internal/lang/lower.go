@@ -1,0 +1,421 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses and lowers TPL source to an IR program (without
+// attach/detach insertion — run terpc.Insert on the result).
+func Compile(src string) (*ir.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+// Lower converts a parsed file into IR.
+func Lower(f *File) (*ir.Program, error) {
+	prog := ir.NewProgram()
+	kinds := map[string]string{} // name -> "pmo" | "dram" | "func"
+	for _, d := range f.PMOs {
+		if kinds[d.Name] != "" {
+			return nil, errf(d.Line, "duplicate declaration %q", d.Name)
+		}
+		kinds[d.Name] = "pmo"
+		prog.PMOs = append(prog.PMOs, ir.PMODecl{Name: d.Name, Elems: d.Elems})
+	}
+	for _, d := range f.Vars {
+		if kinds[d.Name] != "" {
+			return nil, errf(d.Line, "duplicate declaration %q", d.Name)
+		}
+		kinds[d.Name] = "dram"
+		prog.DRAMs = append(prog.DRAMs, ir.DRAMDecl{Name: d.Name, Elems: d.Elems})
+	}
+	for _, fd := range f.Funcs {
+		if kinds[fd.Name] != "" {
+			return nil, errf(fd.Line, "duplicate declaration %q", fd.Name)
+		}
+		kinds[fd.Name] = "func"
+	}
+	for _, fd := range f.Funcs {
+		fn, err := lowerFunc(fd, kinds)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs[fd.Name] = fn
+	}
+	return prog, nil
+}
+
+type lowerer struct {
+	f     *ir.Func
+	cur   *ir.Block
+	vars  map[string]int // local name -> register
+	kinds map[string]string
+	// loop targets for break/continue (innermost last). continueTo is
+	// the block that runs the post statement (or the header).
+	breakTo    []int
+	continueTo []int
+}
+
+func lowerFunc(fd *FuncDecl, kinds map[string]string) (*ir.Func, error) {
+	lw := &lowerer{
+		f:     ir.NewFunc(fd.Name),
+		vars:  map[string]int{},
+		kinds: kinds,
+	}
+	lw.cur = lw.f.NewBlock()
+	lw.f.Entry = lw.cur.ID
+	for _, p := range fd.Params {
+		r := lw.f.NewReg()
+		lw.vars[p] = r
+		lw.f.Params = append(lw.f.Params, r)
+	}
+	if err := lw.stmts(fd.Body); err != nil {
+		return nil, err
+	}
+	// Fall-off-the-end return.
+	if lw.cur != nil {
+		lw.cur.Term, lw.cur.Cond = ir.Ret, -1
+	}
+	if err := lw.f.Validate(); err != nil {
+		return nil, err
+	}
+	return lw.f, nil
+}
+
+func (lw *lowerer) emit(in ir.Instr) { lw.cur.Emit(in) }
+
+func (lw *lowerer) stmts(list []Stmt) error {
+	for _, s := range list {
+		if lw.cur == nil {
+			// Unreachable code after return: tolerate and drop.
+			return nil
+		}
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarStmt:
+		if _, exists := lw.vars[st.Name]; exists {
+			return errf(st.Line, "redeclared variable %q", st.Name)
+		}
+		r := lw.f.NewReg()
+		lw.vars[st.Name] = r
+		if st.Init != nil {
+			v, err := lw.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			lw.emit(ir.Instr{Op: ir.Mov, Dst: r, A: v})
+		} else {
+			lw.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 0})
+		}
+	case *AssignStmt:
+		return lw.assign(st)
+	case *IfStmt:
+		cond, err := lw.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		head := lw.cur
+		thenB := lw.f.NewBlock()
+		var elseB *ir.Block
+		join := lw.f.NewBlock()
+		head.Term, head.Cond = ir.Br, cond
+		if st.Else != nil {
+			elseB = lw.f.NewBlock()
+			head.Succs = []int{thenB.ID, elseB.ID}
+		} else {
+			head.Succs = []int{thenB.ID, join.ID}
+		}
+		lw.cur = thenB
+		if err := lw.stmts(st.Then); err != nil {
+			return err
+		}
+		if lw.cur != nil {
+			lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{join.ID}
+		}
+		if elseB != nil {
+			lw.cur = elseB
+			if err := lw.stmts(st.Else); err != nil {
+				return err
+			}
+			if lw.cur != nil {
+				lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{join.ID}
+			}
+		}
+		lw.cur = join
+	case *WhileStmt:
+		return lw.loop(nil, st.Cond, nil, st.Body, 0)
+	case *ForStmt:
+		trips := tripEstimate(st)
+		return lw.loop(st.Init, st.Cond, st.Post, st.Body, trips)
+	case *ReturnStmt:
+		r := -1
+		if st.Value != nil {
+			v, err := lw.expr(st.Value)
+			if err != nil {
+				return err
+			}
+			r = v
+		}
+		lw.cur.Term, lw.cur.Cond = ir.Ret, r
+		lw.cur = nil
+	case *BreakStmt:
+		if len(lw.breakTo) == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{lw.breakTo[len(lw.breakTo)-1]}
+		lw.cur = nil
+	case *ContinueStmt:
+		if len(lw.continueTo) == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{lw.continueTo[len(lw.continueTo)-1]}
+		lw.cur = nil
+	case *ComputeStmt:
+		lw.emit(ir.Instr{Op: ir.Compute, Imm: st.Cycles})
+	case *ExprStmt:
+		_, err := lw.expr(st.X)
+		return err
+	default:
+		return fmt.Errorf("tpl: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (lw *lowerer) loop(init *AssignStmt, cond Expr, post *AssignStmt, body []Stmt, trips int) error {
+	if init != nil {
+		if err := lw.assign(init); err != nil {
+			return err
+		}
+	}
+	pre := lw.cur
+	header := lw.f.NewBlock()
+	header.TripHint = trips
+	pre.Term, pre.Succs = ir.Jmp, []int{header.ID}
+
+	lw.cur = header
+	c, err := lw.expr(cond)
+	if err != nil {
+		return err
+	}
+	bodyB := lw.f.NewBlock()
+	exit := lw.f.NewBlock()
+	header.Term, header.Cond, header.Succs = ir.Br, c, []int{bodyB.ID, exit.ID}
+
+	// continue jumps to a dedicated latch block that runs the post
+	// statement before re-entering the header; break jumps to the exit.
+	latch := lw.f.NewBlock()
+	lw.breakTo = append(lw.breakTo, exit.ID)
+	lw.continueTo = append(lw.continueTo, latch.ID)
+
+	lw.cur = bodyB
+	if err := lw.stmts(body); err != nil {
+		return err
+	}
+	if lw.cur != nil {
+		lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{latch.ID}
+	}
+	lw.cur = latch
+	if post != nil {
+		if err := lw.assign(post); err != nil {
+			return err
+		}
+	}
+	lw.cur.Term, lw.cur.Succs = ir.Jmp, []int{header.ID}
+
+	lw.breakTo = lw.breakTo[:len(lw.breakTo)-1]
+	lw.continueTo = lw.continueTo[:len(lw.continueTo)-1]
+	lw.cur = exit
+	return nil
+}
+
+// tripEstimate recognizes for (i = C0; i < C1; i = i + C2) and returns
+// the static trip count, or 0 (unknown).
+func tripEstimate(st *ForStmt) int {
+	if st.Init == nil || st.Post == nil || st.Init.Index != nil || st.Post.Index != nil {
+		return 0
+	}
+	i := st.Init.Name
+	if st.Post.Name != i {
+		return 0
+	}
+	c0, ok := st.Init.Value.(*IntLit)
+	if !ok {
+		return 0
+	}
+	cmp, ok := st.Cond.(*BinExpr)
+	if !ok || (cmp.Op != "<" && cmp.Op != "<=") {
+		return 0
+	}
+	lhs, ok := cmp.L.(*Ident)
+	if !ok || lhs.Name != i {
+		return 0
+	}
+	c1, ok := cmp.R.(*IntLit)
+	if !ok {
+		return 0
+	}
+	add, ok := st.Post.Value.(*BinExpr)
+	if !ok || add.Op != "+" {
+		return 0
+	}
+	al, ok := add.L.(*Ident)
+	if !ok || al.Name != i {
+		return 0
+	}
+	c2, ok := add.R.(*IntLit)
+	if !ok || c2.Val <= 0 {
+		return 0
+	}
+	span := c1.Val - c0.Val
+	if cmp.Op == "<=" {
+		span++
+	}
+	if span <= 0 {
+		return 0
+	}
+	n := (span + c2.Val - 1) / c2.Val
+	if n > 1<<30 {
+		return 0
+	}
+	return int(n)
+}
+
+func (lw *lowerer) assign(st *AssignStmt) error {
+	v, err := lw.expr(st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Index == nil {
+		r, ok := lw.vars[st.Name]
+		if !ok {
+			return errf(st.Line, "undeclared variable %q", st.Name)
+		}
+		lw.emit(ir.Instr{Op: ir.Mov, Dst: r, A: v})
+		return nil
+	}
+	idx, err := lw.expr(st.Index)
+	if err != nil {
+		return err
+	}
+	switch lw.kinds[st.Name] {
+	case "pmo":
+		lw.emit(ir.Instr{Op: ir.StorePM, A: idx, B: v, Sym: st.Name})
+	case "dram":
+		lw.emit(ir.Instr{Op: ir.StoreDRAM, A: idx, B: v, Sym: st.Name})
+	default:
+		return errf(st.Line, "unknown array %q", st.Name)
+	}
+	return nil
+}
+
+var binOps = map[string]ir.Op{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+	"==": ir.CmpEQ, "!=": ir.CmpNE, "<": ir.CmpLT, "<=": ir.CmpLE,
+	">": ir.CmpGT, ">=": ir.CmpGE,
+}
+
+func (lw *lowerer) expr(e Expr) (int, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		r := lw.f.NewReg()
+		lw.emit(ir.Instr{Op: ir.Const, Dst: r, Imm: x.Val})
+		return r, nil
+	case *Ident:
+		r, ok := lw.vars[x.Name]
+		if !ok {
+			return 0, errf(x.Line, "undeclared variable %q", x.Name)
+		}
+		return r, nil
+	case *IndexExpr:
+		idx, err := lw.expr(x.Index)
+		if err != nil {
+			return 0, err
+		}
+		r := lw.f.NewReg()
+		switch lw.kinds[x.Name] {
+		case "pmo":
+			lw.emit(ir.Instr{Op: ir.LoadPM, Dst: r, A: idx, Sym: x.Name})
+		case "dram":
+			lw.emit(ir.Instr{Op: ir.LoadDRAM, Dst: r, A: idx, Sym: x.Name})
+		default:
+			return 0, errf(x.Line, "unknown array %q", x.Name)
+		}
+		return r, nil
+	case *CallExpr:
+		if lw.kinds[x.Name] != "func" {
+			return 0, errf(x.Line, "call of non-function %q", x.Name)
+		}
+		var args []int
+		for _, a := range x.Args {
+			r, err := lw.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, r)
+		}
+		r := lw.f.NewReg()
+		lw.emit(ir.Instr{Op: ir.Call, Dst: r, Sym: x.Name, Args: args})
+		return r, nil
+	case *BinExpr:
+		l, err := lw.expr(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := lw.expr(x.R)
+		if err != nil {
+			return 0, err
+		}
+		dst := lw.f.NewReg()
+		switch x.Op {
+		case "&&", "||":
+			// Normalize both sides to 0/1 then combine bitwise.
+			// TPL's logical operators are not short-circuiting.
+			zl, zr := lw.f.NewReg(), lw.f.NewReg()
+			zero := lw.f.NewReg()
+			lw.emit(ir.Instr{Op: ir.Const, Dst: zero, Imm: 0})
+			lw.emit(ir.Instr{Op: ir.CmpNE, Dst: zl, A: l, B: zero})
+			lw.emit(ir.Instr{Op: ir.CmpNE, Dst: zr, A: r, B: zero})
+			if x.Op == "&&" {
+				lw.emit(ir.Instr{Op: ir.And, Dst: dst, A: zl, B: zr})
+			} else {
+				lw.emit(ir.Instr{Op: ir.Or, Dst: dst, A: zl, B: zr})
+			}
+		default:
+			op, ok := binOps[x.Op]
+			if !ok {
+				return 0, errf(x.Line, "unknown operator %q", x.Op)
+			}
+			lw.emit(ir.Instr{Op: op, Dst: dst, A: l, B: r})
+		}
+		return dst, nil
+	case *UnExpr:
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		dst := lw.f.NewReg()
+		zero := lw.f.NewReg()
+		lw.emit(ir.Instr{Op: ir.Const, Dst: zero, Imm: 0})
+		if x.Op == "-" {
+			lw.emit(ir.Instr{Op: ir.Sub, Dst: dst, A: zero, B: v})
+		} else {
+			lw.emit(ir.Instr{Op: ir.CmpEQ, Dst: dst, A: v, B: zero})
+		}
+		return dst, nil
+	default:
+		return 0, fmt.Errorf("tpl: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,106 @@
+// Package merr models the MERR baseline architecture of ASPLOS'20 that
+// TERP builds on (Section II): the process-wide permission matrix checked
+// on every load/store after the TLB lookup (Figure 1b), combined with the
+// constant-cost attach/detach enabled by the embedded page-table subtree
+// and PMO space-layout randomization (both modeled in internal/paging).
+package merr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/paging"
+)
+
+// ErrNoEntry is returned when removing or updating a missing entry.
+var ErrNoEntry = errors.New("merr: no permission matrix entry")
+
+// MatrixEntry is one row of the permission matrix: a virtual address range
+// mapped to the process-wide permission for one attached PMO.
+type MatrixEntry struct {
+	// PMOID identifies the PMO the entry protects.
+	PMOID uint32
+	// Base and Size delimit the VA range of the attached PMO.
+	Base, Size uint64
+	// Perm is the process-wide permission requested at attach.
+	Perm paging.Perm
+}
+
+// Matrix is the per-process permission matrix. A ld/st checks its address
+// and requested access against the matrix (1 cycle, charged by the
+// runtime); attach adds an entry, detach removes it, randomization updates
+// the VA range in place.
+type Matrix struct {
+	entries map[uint32]*MatrixEntry
+
+	// Checks and Denials count permission matrix lookups.
+	Checks, Denials uint64
+}
+
+// NewMatrix creates an empty permission matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{entries: make(map[uint32]*MatrixEntry)}
+}
+
+// Add installs the entry for an attached PMO (attach side of Figure 1b).
+func (m *Matrix) Add(pmoID uint32, base, size uint64, perm paging.Perm) {
+	m.entries[pmoID] = &MatrixEntry{PMOID: pmoID, Base: base, Size: size, Perm: perm}
+}
+
+// Remove deletes the PMO's entry (detach side).
+func (m *Matrix) Remove(pmoID uint32) error {
+	if _, ok := m.entries[pmoID]; !ok {
+		return fmt.Errorf("%w: pmo %d", ErrNoEntry, pmoID)
+	}
+	delete(m.entries, pmoID)
+	return nil
+}
+
+// Upgrade widens the permission of an existing entry. Conditional
+// attaches that lower to thread grants while the PMO stays mapped may
+// request wider rights than the original attach; the hardware widens the
+// process-wide entry so the matrix never blocks a granted thread.
+func (m *Matrix) Upgrade(pmoID uint32, perm paging.Perm) error {
+	e, ok := m.entries[pmoID]
+	if !ok {
+		return fmt.Errorf("%w: pmo %d", ErrNoEntry, pmoID)
+	}
+	e.Perm |= perm
+	return nil
+}
+
+// Relocate updates the VA range of a PMO entry after randomization.
+func (m *Matrix) Relocate(pmoID uint32, base uint64) error {
+	e, ok := m.entries[pmoID]
+	if !ok {
+		return fmt.Errorf("%w: pmo %d", ErrNoEntry, pmoID)
+	}
+	e.Base = base
+	return nil
+}
+
+// Check verifies that the access [va, va+len) with rights want is allowed
+// by some matrix entry, returning the matching entry when it is.
+func (m *Matrix) Check(va uint64, want paging.Perm) (*MatrixEntry, bool) {
+	m.Checks++
+	for _, e := range m.entries {
+		if va >= e.Base && va < e.Base+e.Size {
+			if e.Perm.Allows(want) {
+				return e, true
+			}
+			m.Denials++
+			return e, false
+		}
+	}
+	m.Denials++
+	return nil, false
+}
+
+// Entry returns the matrix entry for a PMO, if present.
+func (m *Matrix) Entry(pmoID uint32) (*MatrixEntry, bool) {
+	e, ok := m.entries[pmoID]
+	return e, ok
+}
+
+// Len returns the number of installed entries.
+func (m *Matrix) Len() int { return len(m.entries) }

@@ -1,0 +1,87 @@
+package merr
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/paging"
+)
+
+func TestMatrixAddCheckRemove(t *testing.T) {
+	m := NewMatrix()
+	m.Add(1, 0x1000, 0x1000, paging.ReadWrite)
+	if e, ok := m.Check(0x1800, paging.PermWrite); !ok || e.PMOID != 1 {
+		t.Fatal("in-range write denied")
+	}
+	if _, ok := m.Check(0x2000, paging.PermRead); ok {
+		t.Fatal("out-of-range access allowed")
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Check(0x1800, paging.PermRead); ok {
+		t.Fatal("access allowed after removal")
+	}
+	if err := m.Remove(1); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestMatrixPermissionEnforced(t *testing.T) {
+	m := NewMatrix()
+	m.Add(2, 0x4000, 0x1000, paging.PermRead)
+	if _, ok := m.Check(0x4000, paging.PermRead); !ok {
+		t.Fatal("read denied on read-only entry")
+	}
+	if e, ok := m.Check(0x4000, paging.PermWrite); ok || e == nil {
+		t.Fatal("write allowed on read-only entry (or entry not reported)")
+	}
+	if m.Denials == 0 {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestMatrixRelocate(t *testing.T) {
+	m := NewMatrix()
+	m.Add(3, 0x8000, 0x1000, paging.ReadWrite)
+	if err := m.Relocate(3, 0x20000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Check(0x8000, paging.PermRead); ok {
+		t.Fatal("old range still allowed after relocate")
+	}
+	if _, ok := m.Check(0x20000, paging.PermRead); !ok {
+		t.Fatal("new range denied after relocate")
+	}
+	if err := m.Relocate(9, 0); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("relocate missing: %v", err)
+	}
+}
+
+func TestMatrixMultipleEntries(t *testing.T) {
+	m := NewMatrix()
+	m.Add(1, 0x1000, 0x1000, paging.PermRead)
+	m.Add(2, 0x10000, 0x1000, paging.ReadWrite)
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if e, ok := m.Check(0x10010, paging.PermWrite); !ok || e.PMOID != 2 {
+		t.Fatal("wrong entry matched")
+	}
+	if e, ok := m.Entry(1); !ok || e.Base != 0x1000 {
+		t.Fatal("Entry accessor failed")
+	}
+	if _, ok := m.Entry(7); ok {
+		t.Fatal("Entry for missing PMO reported ok")
+	}
+}
+
+func TestMatrixCheckCounting(t *testing.T) {
+	m := NewMatrix()
+	m.Add(1, 0, 0x1000, paging.PermRead)
+	m.Check(0, paging.PermRead)
+	m.Check(0x2000, paging.PermRead)
+	if m.Checks != 2 || m.Denials != 1 {
+		t.Fatalf("checks=%d denials=%d", m.Checks, m.Denials)
+	}
+}

@@ -1,0 +1,107 @@
+package nvm
+
+// Cache is a set-associative cache model with LRU replacement, used for
+// the simulated L1D and shared L2 of Table II. It tracks tags only (data
+// lives in the devices); lookups report hit/miss so the memory hierarchy
+// can charge the right latency.
+type Cache struct {
+	sets     []cacheSet
+	setMask  uint64
+	lineBits uint
+	hits     uint64
+	misses   uint64
+}
+
+type cacheSet struct {
+	tags  []uint64 // tag | valid bit in bit 63 is avoided; use separate valid
+	valid []bool
+	lru   []uint64 // larger = more recent
+	tick  uint64
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size (all in bytes; sizes must be powers of two).
+func NewCache(size, ways, line int) *Cache {
+	nsets := size / (ways * line)
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &Cache{
+		sets:    make([]cacheSet, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	for l := line; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	for i := range c.sets {
+		c.sets[i] = cacheSet{
+			tags:  make([]uint64, ways),
+			valid: make([]bool, ways),
+			lru:   make([]uint64, ways),
+		}
+	}
+	return c
+}
+
+// Access looks up address a, inserting the line on a miss, and reports
+// whether it hit.
+func (c *Cache) Access(a uint64) bool {
+	lineAddr := a >> c.lineBits
+	set := &c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(popcountMask(c.setMask))
+	set.tick++
+	for i, t := range set.tags {
+		if set.valid[i] && t == tag {
+			set.lru[i] = set.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Fill: evict LRU way.
+	victim := 0
+	for i := range set.tags {
+		if !set.valid[i] {
+			victim = i
+			break
+		}
+		if set.lru[i] < set.lru[victim] {
+			victim = i
+		}
+	}
+	set.tags[victim] = tag
+	set.valid[victim] = true
+	set.lru[victim] = set.tick
+	return false
+}
+
+// InvalidateAll empties the cache (used on randomization remaps, which
+// change the virtual placement of PMO lines in a virtually-indexed model).
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		for j := range c.sets[i].valid {
+			c.sets[i].valid[j] = false
+		}
+	}
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns the hit fraction, or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+func popcountMask(m uint64) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+// Package nvm models the physical memory devices of the simulated machine:
+// a byte-addressable persistent memory (NVM) device and a DRAM device.
+// Storage is sparse (pages are materialized on first touch) so simulations
+// can declare the paper's 1 GB PMOs without allocating 1 GB. The NVM
+// device supports snapshot and restore, which the crash-consistency tests
+// use to emulate power failure, and counts reads/writes for the
+// wear-related statistics.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// pageSize is the granularity of sparse storage allocation. It matches the
+// virtual memory page size so device offsets and pages line up.
+const pageSize = 4096
+
+// Kind discriminates device technologies, which differ in access latency.
+type Kind int
+
+// Device technologies.
+const (
+	// DRAM is volatile memory (120-cycle latency in Table II).
+	DRAM Kind = iota
+	// NVM is persistent memory (360-cycle latency in Table II).
+	NVM
+)
+
+// String returns the technology name.
+func (k Kind) String() string {
+	if k == DRAM {
+		return "DRAM"
+	}
+	return "NVM"
+}
+
+// Device is one sparse byte-addressable memory device.
+type Device struct {
+	kind  Kind
+	size  uint64
+	pages map[uint64][]byte
+
+	// Reads and Writes count byte-granularity accesses.
+	Reads, Writes uint64
+}
+
+// ErrOutOfRange is returned for accesses beyond the device size.
+var ErrOutOfRange = errors.New("nvm: access out of device range")
+
+// NewDevice creates a device of the given technology and byte size.
+func NewDevice(kind Kind, size uint64) *Device {
+	return &Device{kind: kind, size: size, pages: make(map[uint64][]byte)}
+}
+
+// Kind returns the device technology.
+func (d *Device) Kind() Kind { return d.kind }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.size }
+
+// Persistent reports whether the device retains contents across a crash.
+func (d *Device) Persistent() bool { return d.kind == NVM }
+
+// page returns the backing page for offset, materializing it if needed.
+func (d *Device) page(off uint64, materialize bool) []byte {
+	pn := off / pageSize
+	p := d.pages[pn]
+	if p == nil && materialize {
+		p = make([]byte, pageSize)
+		d.pages[pn] = p
+	}
+	return p
+}
+
+func (d *Device) check(off uint64, n int) error {
+	if n < 0 || off+uint64(n) > d.size || off+uint64(n) < off {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, n, d.size)
+	}
+	return nil
+}
+
+// ReadAt copies len(b) bytes starting at offset off into b.
+func (d *Device) ReadAt(b []byte, off uint64) error {
+	if err := d.check(off, len(b)); err != nil {
+		return err
+	}
+	d.Reads += uint64(len(b))
+	for len(b) > 0 {
+		in := off % pageSize
+		n := pageSize - in
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		if p := d.page(off, false); p != nil {
+			copy(b[:n], p[in:in+n])
+		} else {
+			for i := range b[:n] {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt copies b into the device starting at offset off.
+func (d *Device) WriteAt(b []byte, off uint64) error {
+	if err := d.check(off, len(b)); err != nil {
+		return err
+	}
+	d.Writes += uint64(len(b))
+	for len(b) > 0 {
+		in := off % pageSize
+		n := pageSize - in
+		if n > uint64(len(b)) {
+			n = uint64(len(b))
+		}
+		p := d.page(off, true)
+		copy(p[in:in+n], b[:n])
+		b = b[n:]
+		off += n
+	}
+	return nil
+}
+
+// Read8 reads a little-endian 64-bit word at off.
+func (d *Device) Read8(off uint64) (uint64, error) {
+	var b [8]byte
+	if err := d.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return le64(b[:]), nil
+}
+
+// Write8 writes a little-endian 64-bit word at off.
+func (d *Device) Write8(off uint64, v uint64) error {
+	var b [8]byte
+	put64(b[:], v)
+	return d.WriteAt(b[:], off)
+}
+
+// Zero clears n bytes starting at off, dropping whole pages when possible.
+func (d *Device) Zero(off uint64, n uint64) error {
+	if err := d.check(off, int(n)); err != nil {
+		return err
+	}
+	for n > 0 {
+		in := off % pageSize
+		m := pageSize - in
+		if m > n {
+			m = n
+		}
+		if in == 0 && m == pageSize {
+			delete(d.pages, off/pageSize)
+		} else if p := d.page(off, false); p != nil {
+			for i := in; i < in+m; i++ {
+				p[i] = 0
+			}
+		}
+		off += m
+		n -= m
+	}
+	return nil
+}
+
+// Snapshot captures the full device contents. Used to emulate the state
+// that survives a crash (for NVM) in crash-consistency tests.
+func (d *Device) Snapshot() map[uint64][]byte {
+	s := make(map[uint64][]byte, len(d.pages))
+	for pn, p := range d.pages {
+		cp := make([]byte, pageSize)
+		copy(cp, p)
+		s[pn] = cp
+	}
+	return s
+}
+
+// Restore replaces the device contents with a snapshot.
+func (d *Device) Restore(s map[uint64][]byte) {
+	d.pages = make(map[uint64][]byte, len(s))
+	for pn, p := range s {
+		cp := make([]byte, pageSize)
+		copy(cp, p)
+		d.pages[pn] = cp
+	}
+}
+
+// FootprintPages returns the number of materialized pages.
+func (d *Device) FootprintPages() int { return len(d.pages) }
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func put64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

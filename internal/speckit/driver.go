@@ -1,0 +1,167 @@
+package speckit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/nvm"
+	"repro/internal/paging"
+	"repro/internal/params"
+	"repro/internal/pmo"
+	"repro/internal/sim"
+	"repro/internal/terpc"
+)
+
+// RunOpts configures one kernel run.
+type RunOpts struct {
+	// Threads is the worker count (1 or the paper's 4).
+	Threads int
+	// Scale multiplies the kernel's array sizes.
+	Scale int
+	// DeviceSize overrides the NVM device size (default 1 GB).
+	DeviceSize uint64
+	// InsertOverride replaces the insertion pass options (used by the
+	// compiler cost-model ablation); nil selects the scheme defaults.
+	InsertOverride *terpc.Options
+	// OnRuntime, when set, is called with the freshly built runtime
+	// before the run (tracing, inspection).
+	OnRuntime func(*core.Runtime)
+}
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Threads == 0 {
+		o.Threads = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.DeviceSize == 0 {
+		o.DeviceSize = 1 << 30
+	}
+	return o
+}
+
+// Run compiles the kernel, applies the configuration's insertion strategy
+// (MERR-style single-level insertion for MM, TEW-granularity conditional
+// insertion for the TERP schemes, none for the unprotected baseline), and
+// executes it on a fresh simulated machine.
+func Run(cfg params.Config, k Kernel, opts RunOpts) (core.Result, error) {
+	opts = opts.withDefaults()
+	prog, err := lang.Compile(k.Source(opts.Scale))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("speckit %s: %w", k.Name, err)
+	}
+	switch cfg.Scheme {
+	case params.Unprotected:
+		// No insertion; PMOs are pre-attached below.
+	case params.MM:
+		o := terpc.Options{EWThreshold: cfg.EWTarget}
+		if opts.InsertOverride != nil {
+			o = *opts.InsertOverride
+		}
+		if _, err := terpc.Insert(prog, o); err != nil {
+			return core.Result{}, fmt.Errorf("speckit %s MM insertion: %w", k.Name, err)
+		}
+	default:
+		o := terpc.Options{EWThreshold: cfg.EWTarget, TEWThreshold: cfg.TEWTarget}
+		if opts.InsertOverride != nil {
+			o = *opts.InsertOverride
+		}
+		if _, err := terpc.Insert(prog, o); err != nil {
+			return core.Result{}, fmt.Errorf("speckit %s TERP insertion: %w", k.Name, err)
+		}
+	}
+
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, opts.DeviceSize))
+	rt := core.NewRuntime(cfg, mgr)
+	if opts.OnRuntime != nil {
+		opts.OnRuntime(rt)
+	}
+
+	if opts.Threads == 1 {
+		ctx := rt.NewThread(sim.SingleThread())
+		m, err := interp.New(prog, ctx)
+		if err != nil {
+			return core.Result{}, err
+		}
+		if cfg.Scheme == params.Unprotected {
+			if err := preAttach(ctx, m, prog.PMONames()); err != nil {
+				return core.Result{}, err
+			}
+		}
+		if _, err := m.Run("worker", 0, 1); err != nil {
+			return core.Result{}, fmt.Errorf("speckit %s: %w", k.Name, err)
+		}
+		return rt.Finish(ctx.Now()), nil
+	}
+
+	machine := sim.NewMachine(cfg.Seed, 200)
+	rt.AttachMachine(machine)
+	errs := make([]error, opts.Threads)
+	var first *interp.Machine
+	for t := 0; t < opts.Threads; t++ {
+		t := t
+		machine.AddThread(func(th *sim.Thread) {
+			ctx := rt.NewThread(th)
+			m, err := interp.New(prog, ctx)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			if first == nil {
+				first = m
+			} else {
+				m.SharePMOs(first)
+				m.ShareDRAM(first)
+			}
+			if cfg.Scheme == params.Unprotected && t == 0 {
+				if err := preAttach(ctx, m, prog.PMONames()); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			if _, err := m.Run("worker", int64(t), int64(opts.Threads)); err != nil {
+				errs[t] = err
+			}
+		})
+	}
+	end := machine.Run()
+	for t, err := range errs {
+		if err != nil {
+			return core.Result{}, fmt.Errorf("speckit %s thread %d: %w", k.Name, t, err)
+		}
+	}
+	return rt.Finish(end), nil
+}
+
+func preAttach(ctx *core.ThreadCtx, m *interp.Machine, names []string) error {
+	for _, name := range names {
+		p, ok := m.PMO(name)
+		if !ok {
+			return fmt.Errorf("speckit: missing PMO %q", name)
+		}
+		if err := ctx.Attach(p, paging.ReadWrite); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Overhead runs the kernel under cfg and the unprotected baseline and
+// returns the relative execution-time overhead plus both results.
+func Overhead(cfg params.Config, k Kernel, opts RunOpts) (float64, core.Result, core.Result, error) {
+	baseCfg := params.NewConfig(params.Unprotected, params.DefaultEWMicros)
+	baseCfg.Seed = cfg.Seed
+	base, err := Run(baseCfg, k, opts)
+	if err != nil {
+		return 0, core.Result{}, core.Result{}, err
+	}
+	prot, err := Run(cfg, k, opts)
+	if err != nil {
+		return 0, core.Result{}, core.Result{}, err
+	}
+	ov := float64(prot.Cycles)/float64(base.Cycles) - 1
+	return ov, prot, base, nil
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Add(v)
+	}
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	want := []uint64{1, 2, 1, 1} // <=1, 1-2, 2-4, >4
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Fraction(1) != 0.4 {
+		t.Fatalf("fraction = %f", h.Fraction(1))
+	}
+}
+
+func TestHistogramFractionAtLeast(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for _, v := range []float64{1, 2, 5, 10, 20} {
+		h.Add(v)
+	}
+	if got := h.FractionAtLeast(5); got != 0.6 {
+		t.Fatalf("P(>=5) = %f", got)
+	}
+	empty := NewHistogram([]float64{1})
+	if empty.FractionAtLeast(0) != 0 || empty.Fraction(0) != 0 {
+		t.Fatal("empty histogram fractions must be 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram([]float64{100})
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := h.Percentile(95); p != 95 {
+		t.Fatalf("p95 = %f", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if NewHistogram(nil).Percentile(50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestHistogramUnsortedBoundsAccepted(t *testing.T) {
+	h := NewHistogram([]float64{4, 1, 2})
+	if h.Bounds[0] != 1 || h.Bounds[2] != 4 {
+		t.Fatalf("bounds not sorted: %v", h.Bounds)
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	labels := []string{h.BucketLabel(0), h.BucketLabel(1), h.BucketLabel(2)}
+	for _, l := range labels {
+		if l == "" {
+			t.Fatal("empty label")
+		}
+	}
+	if !strings.HasPrefix(labels[0], "<=") || !strings.HasPrefix(labels[2], ">") {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+// Property: percentiles are monotone and bracket the samples.
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram([]float64{100})
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v)
+			h.Add(x)
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		p10, p90 := h.Percentile(10), h.Percentile(90)
+		return p10 <= p90 && p10 >= min && p90 <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All lines equal length (aligned columns, trailing spaces ok).
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("misaligned: %q", l)
+		}
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float formatting lost")
+	}
+}
+
+func TestBar(t *testing.T) {
+	s := Bar("TT", 0.5, 1.0, 10)
+	if !strings.Contains(s, "#####") || strings.Contains(s, "######") {
+		t.Fatalf("bar = %q", s)
+	}
+	if !strings.Contains(s, "50.0%") {
+		t.Fatalf("bar = %q", s)
+	}
+	// Clamping.
+	if !strings.Contains(Bar("x", 5, 1, 4), "####") {
+		t.Fatal("over-full bar not clamped")
+	}
+	if strings.Contains(Bar("x", -1, 1, 4), "#") {
+		t.Fatal("negative bar drew hashes")
+	}
+	if Bar("x", 1, 0, 4) == "" {
+		t.Fatal("zero full must not panic")
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+}

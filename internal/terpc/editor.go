@@ -1,0 +1,297 @@
+package terpc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// editor accumulates insertions against original instruction positions and
+// applies them in one rebuild, so positions never shift mid-pass.
+//
+// Region-level attaches and detaches are placed on CFG *edges* (with edge
+// splitting), not at the top of blocks: the region's exit block may have
+// predecessors that never entered the region (it is often a join or a
+// loop header), and a region whose header is a loop header has in-region
+// back edges that must not re-execute the attach. Placing the constructs
+// on the entry edges (pred outside region -> header) and exit edges
+// (block inside region -> exit) is correct on every path.
+type editor struct {
+	f *ir.Func
+	// tainted reports whether an instruction is a call into a function
+	// that itself touches the PMO (degenerate sites must not wrap it).
+	tainted func(in *ir.Instr, pmo string) bool
+	// preds[b] lists predecessor block IDs (computed once).
+	preds [][]int
+	// edgeDetach and edgeAttach collect constructs per CFG edge; on a
+	// shared edge the detaches of a finished region always precede the
+	// attaches of a following one.
+	edgeDetach map[[2]int][]ir.Instr
+	edgeAttach map[[2]int][]ir.Instr
+	// entryAttach prepends to the function entry block (root regions).
+	entryAttach []ir.Instr
+	// before and after insert around one original instruction index.
+	before map[int]map[int][]ir.Instr
+	after  map[int]map[int][]ir.Instr
+	// atEnd appends ahead of the terminator (detach before Ret).
+	atEnd map[int][]ir.Instr
+}
+
+func newEditor(f *ir.Func, tainted func(in *ir.Instr, pmo string) bool) *editor {
+	if tainted == nil {
+		tainted = func(*ir.Instr, string) bool { return false }
+	}
+	preds := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return &editor{
+		f:          f,
+		tainted:    tainted,
+		preds:      preds,
+		edgeDetach: map[[2]int][]ir.Instr{},
+		edgeAttach: map[[2]int][]ir.Instr{},
+		before:     map[int]map[int][]ir.Instr{},
+		after:      map[int]map[int][]ir.Instr{},
+		atEnd:      map[int][]ir.Instr{},
+	}
+}
+
+// bracket inserts an attach/detach pair around the site for the PMO.
+func (ed *editor) bracket(s *site, pmo string) {
+	at := ir.Instr{Op: ir.Attach, Sym: pmo, Imm: s.perm}
+	dt := ir.Instr{Op: ir.Detach, Sym: pmo}
+	switch {
+	case s.region == nil:
+		// Degenerate single-block site: wrap each maximal run of the
+		// block's instructions that accesses the PMO, breaking the run
+		// at calls into functions that attach the PMO themselves
+		// (wrapping those would nest windows within the thread).
+		if ed.before[s.block] == nil {
+			ed.before[s.block] = map[int][]ir.Instr{}
+		}
+		if ed.after[s.block] == nil {
+			ed.after[s.block] = map[int][]ir.Instr{}
+		}
+		first, last := -1, -1
+		flush := func() {
+			if first < 0 {
+				return
+			}
+			ed.before[s.block][first] = append(ed.before[s.block][first], at)
+			ed.after[s.block][last] = append(ed.after[s.block][last], dt)
+			first, last = -1, -1
+		}
+		for i := range ed.f.Blocks[s.block].Instrs {
+			in := &ed.f.Blocks[s.block].Instrs[i]
+			switch {
+			case (in.Op == ir.LoadPM || in.Op == ir.StorePM) && in.Sym == pmo:
+				if first < 0 {
+					first = i
+				}
+				last = i
+			case in.Op == ir.Call && ed.tainted(in, pmo):
+				flush()
+			}
+		}
+		flush()
+	case s.region.Exit == -1:
+		// Whole-function region: attach at entry (the entry block has
+		// no predecessors by construction), detach at returns.
+		ed.entryAttach = append(ed.entryAttach, at)
+		for _, b := range ed.f.Blocks {
+			if b.Term == ir.Ret && s.region.Blocks[b.ID] {
+				ed.atEnd[b.ID] = append(ed.atEnd[b.ID], dt)
+			}
+		}
+	default:
+		// Attach on every entry edge: predecessor outside the region
+		// (or function entry) -> header. In-region back edges to the
+		// header (the region is a loop) must not re-attach.
+		h := s.region.Header
+		if h == ed.f.Entry {
+			ed.entryAttach = append(ed.entryAttach, at)
+		}
+		for _, p := range ed.preds[h] {
+			if !s.region.Blocks[p] {
+				e := [2]int{p, h}
+				ed.edgeAttach[e] = append(ed.edgeAttach[e], at)
+			}
+		}
+		// Detach on every exit edge: block inside the region -> exit.
+		x := s.region.Exit
+		for _, p := range ed.preds[x] {
+			if s.region.Blocks[p] {
+				e := [2]int{p, x}
+				ed.edgeDetach[e] = append(ed.edgeDetach[e], dt)
+			}
+		}
+	}
+}
+
+// apply rebuilds every touched block, splits annotated edges, and returns
+// (attaches, detaches).
+func (ed *editor) apply() (attaches, detaches int) {
+	count := func(list []ir.Instr) {
+		for _, in := range list {
+			if in.Op == ir.Attach {
+				attaches++
+			} else {
+				detaches++
+			}
+		}
+	}
+
+	// In-block insertions first (indices refer to original positions).
+	for _, b := range ed.f.Blocks {
+		bi, ai := ed.before[b.ID], ed.after[b.ID]
+		var pre []ir.Instr
+		if b.ID == ed.f.Entry {
+			pre = ed.entryAttach
+		}
+		end := ed.atEnd[b.ID]
+		if len(bi)+len(ai)+len(pre)+len(end) == 0 {
+			continue
+		}
+		out := make([]ir.Instr, 0, len(b.Instrs)+4)
+		out = append(out, pre...)
+		count(pre)
+		for i, in := range b.Instrs {
+			if bi != nil {
+				out = append(out, bi[i]...)
+				count(bi[i])
+			}
+			out = append(out, in)
+			if ai != nil {
+				out = append(out, ai[i]...)
+				count(ai[i])
+			}
+		}
+		out = append(out, end...)
+		count(end)
+		b.Instrs = out
+	}
+
+	// Edge splitting: one new block per annotated edge, carrying the
+	// edge's detaches then attaches. Deterministic order.
+	edges := map[[2]int]bool{}
+	for e := range ed.edgeDetach {
+		edges[e] = true
+	}
+	for e := range ed.edgeAttach {
+		edges[e] = true
+	}
+	sorted := make([][2]int, 0, len(edges))
+	for e := range edges {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	for _, e := range sorted {
+		from, to := e[0], e[1]
+		nb := ed.f.NewBlock()
+		nb.Instrs = append(nb.Instrs, ed.edgeDetach[e]...)
+		nb.Instrs = append(nb.Instrs, ed.edgeAttach[e]...)
+		count(ed.edgeDetach[e])
+		count(ed.edgeAttach[e])
+		nb.Term, nb.Succs = ir.Jmp, []int{to}
+		fb := ed.f.Blocks[from]
+		for i, s := range fb.Succs {
+			if s == to {
+				fb.Succs[i] = nb.ID
+			}
+		}
+	}
+	if len(sorted) > 0 {
+		if err := ed.f.Validate(); err != nil {
+			panic(fmt.Sprintf("terpc: edge splitting broke %s: %v", ed.f.Name, err))
+		}
+	}
+	return attaches, detaches
+}
+
+// Verify checks the insertion invariants of an instrumented function:
+// every PMO access is covered by an attach, pairs match and never overlap
+// within the thread, calls to PMO-accessing functions happen while this
+// function holds no window on those PMOs, and every path ends detached.
+// callAccess maps each function to the set of PMOs it transitively
+// touches (nil disables call checking).
+func Verify(f *ir.Func, callAccess map[string]map[string]bool) error {
+	entryState := map[int]string{} // canonical attached-set per block
+	var dfs func(b int, attached map[string]bool) error
+	dfs = func(b int, attached map[string]bool) error {
+		canon := canonState(attached)
+		if prev, seen := entryState[b]; seen {
+			if prev != canon {
+				return fmt.Errorf("inconsistent attach state at b%d: %q vs %q", b, prev, canon)
+			}
+			return nil
+		}
+		entryState[b] = canon
+		cur := map[string]bool{}
+		for k := range attached {
+			cur[k] = true
+		}
+		blk := f.Blocks[b]
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Attach:
+				if cur[in.Sym] {
+					return fmt.Errorf("overlapping attach of %q in b%d", in.Sym, b)
+				}
+				cur[in.Sym] = true
+			case ir.Detach:
+				if !cur[in.Sym] {
+					return fmt.Errorf("detach of unattached %q in b%d", in.Sym, b)
+				}
+				delete(cur, in.Sym)
+			case ir.LoadPM, ir.StorePM:
+				if !cur[in.Sym] {
+					return fmt.Errorf("uncovered access to %q in b%d", in.Sym, b)
+				}
+			case ir.Call:
+				if callAccess == nil {
+					continue
+				}
+				for pmo := range callAccess[in.Sym] {
+					if cur[pmo] {
+						return fmt.Errorf("call to %q in b%d while %q attached (would nest)", in.Sym, b, pmo)
+					}
+				}
+			}
+		}
+		if blk.Term == ir.Ret {
+			if len(cur) != 0 {
+				return fmt.Errorf("return in b%d with %q still attached", b, canonState(cur))
+			}
+			return nil
+		}
+		for _, s := range blk.Succs {
+			if err := dfs(s, cur); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(f.Entry, map[string]bool{})
+}
+
+func canonState(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + ";"
+	}
+	return s
+}

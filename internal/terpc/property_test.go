@@ -1,0 +1,148 @@
+package terpc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// genProgram emits a random structured TPL program over two PMOs and one
+// volatile array: random nesting of if/while/for with PMO reads and
+// writes sprinkled everywhere. Every generated program is valid TPL.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("pmo alpha[256];\npmo beta[256];\nvar scratch[64];\n\n")
+	// A callee that touches a PMO: the caller must never wrap calls to
+	// it inside its own windows (intra-thread nesting via calls).
+	b.WriteString("func helper(k) {\n  var i; var j; var x;\n  x = k;\n")
+	genBlock(r, &b, 0, -1) // budget<0: no calls, simple statements only
+	b.WriteString("  return x + beta[k % 256];\n}\n\n")
+	b.WriteString("func main() {\n  var i; var j; var x;\n")
+	genBlock(r, &b, 0, 3)
+	b.WriteString("  return x;\n}\n")
+	return b.String()
+}
+
+func genBlock(r *rand.Rand, b *strings.Builder, depth, budget int) {
+	n := 1 + r.Intn(4)
+	for s := 0; s < n; s++ {
+		pad := strings.Repeat("  ", depth+1)
+		switch choice := r.Intn(8); {
+		case choice < 3 || budget <= 0: // simple statement
+			kinds := 5
+			if budget < 0 {
+				kinds = 4 // inside helper: no recursive calls
+			}
+			switch r.Intn(kinds) {
+			case 0:
+				fmt.Fprintf(b, "%sx = alpha[i %% 256] + 1;\n", pad)
+			case 1:
+				fmt.Fprintf(b, "%sbeta[j %% 256] = x * 3;\n", pad)
+			case 2:
+				fmt.Fprintf(b, "%sscratch[x %% 64] = i;\n", pad)
+			case 4:
+				fmt.Fprintf(b, "%sx = helper(x %% 256);\n", pad)
+			default:
+				fmt.Fprintf(b, "%scompute(%d);\n", pad, 10+r.Intn(5000))
+			}
+		case choice < 5: // if / if-else
+			fmt.Fprintf(b, "%sif (x %% %d == 0) {\n", pad, 2+r.Intn(5))
+			genBlock(r, b, depth+1, budget-1)
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(b, "%s} else {\n", pad)
+				genBlock(r, b, depth+1, budget-1)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		case choice < 7: // bounded for loop, sometimes with early exits
+			trips := 1 + r.Intn(64)
+			fmt.Fprintf(b, "%sfor (i = 0; i < %d; i = i + 1) {\n", pad, trips)
+			genBlock(r, b, depth+1, budget-1)
+			switch r.Intn(4) {
+			case 0:
+				fmt.Fprintf(b, "%s  if (x %% 7 == 0) { break; }\n", pad)
+			case 1:
+				fmt.Fprintf(b, "%s  if (x %% 5 == 0) { continue; }\n", pad)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		default: // while loop with a decreasing counter
+			fmt.Fprintf(b, "%sj = %d;\n", pad, 1+r.Intn(32))
+			fmt.Fprintf(b, "%swhile (j > 0) {\n", pad)
+			genBlock(r, b, depth+1, budget-1)
+			if r.Intn(4) == 0 {
+				fmt.Fprintf(b, "%s  if (x %% 11 == 0) { break; }\n", pad)
+			}
+			fmt.Fprintf(b, "%s  j = j - 1;\n", pad)
+			fmt.Fprintf(b, "%s}\n", pad)
+		}
+	}
+}
+
+// TestInsertionPropertyRandomPrograms: for any structured program, the
+// insertion pass must produce a function that passes Verify (every PMO
+// access covered, pairs balanced and non-overlapping, all paths end
+// detached) at both MERR and TERP granularities.
+func TestInsertionPropertyRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		src := genProgram(r)
+		for _, opt := range []Options{
+			{EWThreshold: 88000},                      // MERR single-level
+			{EWThreshold: 88000, TEWThreshold: 4400},  // TERP two-level
+			{EWThreshold: 352000, TEWThreshold: 1100}, // wide EW, tight TEW
+		} {
+			prog, err := lang.Compile(src)
+			if err != nil {
+				t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+			}
+			if _, err := Insert(prog, opt); err != nil {
+				t.Fatalf("trial %d (opt %+v): insert: %v\n%s", trial, opt, err, src)
+			}
+			// Insert already runs Verify on instrumented functions,
+			// but re-verify explicitly to keep the property honest.
+			for name, f := range prog.Funcs {
+				if hasPMOAccess(f) {
+					if err := Verify(f, nil); err != nil {
+						t.Fatalf("trial %d: verify %s: %v\n%s", trial, name, err, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasPMOAccess(f *ir.Func) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.LoadPM || in.Op == ir.StorePM {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestInsertionPropertyCoverage: after insertion, scanning any path from
+// entry must find an attach before the first access of each PMO — checked
+// structurally by Verify; here we additionally assert that insertion
+// never leaves a PMO-accessing program without any inserted constructs.
+func TestInsertionPropertyCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		prog, err := lang.Compile(genProgram(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Insert(prog, Options{EWThreshold: 88000, TEWThreshold: 4400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		main := prog.Funcs["main"]
+		if hasPMOAccess(main) && rep.TotalInserted() == 0 {
+			t.Fatalf("trial %d: accesses but no inserts\n%s", trial, main)
+		}
+	}
+}

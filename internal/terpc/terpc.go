@@ -1,0 +1,439 @@
+// Package terpc implements the TERP compiler support of Section V-A: the
+// region-based static analysis that automatically inserts attach and
+// detach constructs so that every PMO access is covered, pairs match and
+// never overlap within a thread, and the longest execution time (LET) of
+// each covered region stays under the exposure-window target.
+//
+// The pass follows Algorithm 1: it identifies basic blocks with PMO
+// accesses, grows each into the largest enclosing code region whose LET is
+// below the EW threshold (the PMO window flow graph, PMO-WFG), and then
+// performs the localized path-sensitive insertion: with a thread exposure
+// window configured it covers the PMO accesses inside each graph with
+// TEW-sized subregions and brackets those with conditional attach/detach;
+// with TEW disabled (the MERR baseline) it brackets each graph once.
+//
+// The package also provides Verify, which checks the safety invariants of
+// an instrumented function: along every path each PMO access happens
+// inside an attach-detach pair, pairs never overlap within the thread,
+// and every path ends fully detached.
+package terpc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Options configures the insertion pass.
+type Options struct {
+	// EWThreshold is the region-growth bound in cycles (from the target
+	// maximum exposure window).
+	EWThreshold uint64
+	// TEWThreshold is the conditional insertion granularity in cycles;
+	// zero selects MERR-style single-level insertion.
+	TEWThreshold uint64
+	// MemCost is the conservative estimate for one memory access.
+	MemCost uint64
+	// InstrCost is the conservative estimate for one plain instruction.
+	InstrCost uint64
+}
+
+// Defaults fills zero cost-model fields.
+func (o Options) withDefaults() Options {
+	if o.MemCost == 0 {
+		o.MemCost = 40
+	}
+	if o.InstrCost == 0 {
+		o.InstrCost = 1
+	}
+	if o.EWThreshold == 0 {
+		o.EWThreshold = 88000 // 40us at 2.2GHz
+	}
+	return o
+}
+
+// FuncReport describes the insertion outcome for one function.
+type FuncReport struct {
+	// Func is the function name.
+	Func string
+	// Graphs is the number of PMO-WFG graphs formed.
+	Graphs int
+	// Attaches and Detaches count inserted constructs.
+	Attaches, Detaches int
+	// MaxRegionLET is the largest LET among chosen graphs.
+	MaxRegionLET uint64
+}
+
+// Report summarizes a whole-program insertion.
+type Report struct {
+	// Funcs holds per-function reports for functions that got inserts.
+	Funcs []FuncReport
+	// FuncLET maps every function to its estimated LET.
+	FuncLET map[string]uint64
+}
+
+// TotalInserted returns the total number of inserted constructs.
+func (r *Report) TotalInserted() int {
+	n := 0
+	for _, f := range r.Funcs {
+		n += f.Attaches + f.Detaches
+	}
+	return n
+}
+
+// recursiveLET is the LET assigned to call-graph cycles.
+const recursiveLET = 1 << 30
+
+// inserter carries whole-program state.
+type inserter struct {
+	prog *ir.Program
+	opt  Options
+
+	// accesses[fn][pmo] = true if fn (transitively) touches pmo.
+	accesses map[string]map[string]bool
+	// funcLET memoizes function LETs.
+	funcLET map[string]uint64
+	inLET   map[string]bool
+}
+
+// Insert runs the pass over the program in place and returns the report.
+func Insert(prog *ir.Program, opt Options) (*Report, error) {
+	ins := &inserter{
+		prog:     prog,
+		opt:      opt.withDefaults(),
+		accesses: make(map[string]map[string]bool),
+		funcLET:  make(map[string]uint64),
+		inLET:    make(map[string]bool),
+	}
+	ins.computeAccessSets()
+	rep := &Report{FuncLET: make(map[string]uint64)}
+	names := make([]string, 0, len(prog.Funcs))
+	for name := range prog.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep.FuncLET[name] = ins.letOf(name)
+	}
+	for _, name := range names {
+		fr, err := ins.instrument(prog.Funcs[name])
+		if err != nil {
+			return nil, err
+		}
+		if fr.Attaches+fr.Detaches > 0 {
+			rep.Funcs = append(rep.Funcs, fr)
+		}
+	}
+	return rep, nil
+}
+
+// computeAccessSets runs the transitive "which PMOs does each function
+// touch" fixed point (the pointer-analysis stand-in of Algorithm 1: our
+// IR names PMOs directly, so aliasing is resolved by construction).
+func (ins *inserter) computeAccessSets() {
+	for name, f := range ins.prog.Funcs {
+		set := make(map[string]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.LoadPM || in.Op == ir.StorePM {
+					set[in.Sym] = true
+				}
+			}
+		}
+		ins.accesses[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, f := range ins.prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.Call {
+						continue
+					}
+					for pmo := range ins.accesses[in.Sym] {
+						if !ins.accesses[name][pmo] {
+							ins.accesses[name][pmo] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockCost is the conservative cost model of one block.
+func (ins *inserter) blockCost(f *ir.Func) ir.BlockCost {
+	return func(id int) uint64 {
+		var c uint64
+		for _, in := range f.Blocks[id].Instrs {
+			switch in.Op {
+			case ir.Compute:
+				c += uint64(in.Imm)
+			case ir.LoadPM, ir.StorePM, ir.LoadDRAM, ir.StoreDRAM:
+				c += ins.opt.MemCost
+			case ir.Call:
+				c += ins.letOf(in.Sym)
+			default:
+				c += ins.opt.InstrCost
+			}
+		}
+		c += ins.opt.InstrCost // terminator
+		return c
+	}
+}
+
+// letOf returns the function's LET, detecting call-graph cycles.
+func (ins *inserter) letOf(name string) uint64 {
+	if v, ok := ins.funcLET[name]; ok {
+		return v
+	}
+	f, ok := ins.prog.Funcs[name]
+	if !ok {
+		return 0 // unknown callee: intrinsic, costed as plain instr
+	}
+	if ins.inLET[name] {
+		return recursiveLET
+	}
+	ins.inLET[name] = true
+	an := ir.Analyze(f)
+	rs := ir.BuildRegions(f, an, ins.blockCost(f))
+	ins.inLET[name] = false
+	ins.funcLET[name] = rs.Root.LET
+	return rs.Root.LET
+}
+
+// site is one insertion site: a covered subgraph bracketed by an attach
+// at the header and a detach at the exit.
+type site struct {
+	region *ir.Region // nil for a degenerate single-block site
+	block  int        // degenerate site block
+	perm   int64      // 1 read, 3 read-write
+}
+
+// instrument runs Algorithm 1 on one function.
+func (ins *inserter) instrument(f *ir.Func) (FuncReport, error) {
+	fr := FuncReport{Func: f.Name}
+	an := ir.Analyze(f)
+	rs := ir.BuildRegions(f, an, ins.blockCost(f))
+
+	// For every PMO accessed directly in this function, build the
+	// PMO-WFG and insert.
+	pmos := map[string]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.LoadPM || in.Op == ir.StorePM {
+				pmos[in.Sym] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(pmos))
+	for n := range pmos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ed := newEditor(f, func(in *ir.Instr, pmo string) bool {
+		return ins.accesses[in.Sym][pmo]
+	})
+	for _, pmo := range names {
+		access, callTaint := ins.blockSets(f, pmo)
+		graphs := cover(rs, access, callTaint, ins.opt.EWThreshold)
+		fr.Graphs += len(graphs)
+		for _, g := range graphs {
+			if g.region != nil && g.region.LET > fr.MaxRegionLET {
+				fr.MaxRegionLET = g.region.LET
+			}
+			if ins.opt.TEWThreshold == 0 {
+				g.perm = permOf(f, g, access, pmo)
+				ed.bracket(g, pmo)
+				continue
+			}
+			// Localized path-sensitive insertion: cover the PMO
+			// accesses inside the graph with TEW-sized
+			// subregions.
+			subs := coverWithin(rs, g, access, callTaint, ins.opt.TEWThreshold)
+			for _, s := range subs {
+				s.perm = permOf(f, s, access, pmo)
+				ed.bracket(s, pmo)
+			}
+		}
+	}
+	fr.Attaches, fr.Detaches = ed.apply()
+	if fr.Attaches != 0 || fr.Detaches != 0 {
+		if err := Verify(f, ins.accesses); err != nil {
+			return fr, fmt.Errorf("terpc: %s: %w", f.Name, err)
+		}
+	}
+	return fr, nil
+}
+
+// blockSets returns the blocks directly accessing the PMO and the blocks
+// tainted by calls to functions that access it (regions covering those
+// would create intra-thread overlap with the callee's own windows).
+func (ins *inserter) blockSets(f *ir.Func, pmo string) (access, callTaint map[int]bool) {
+	access = map[int]bool{}
+	callTaint = map[int]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.LoadPM, ir.StorePM:
+				if in.Sym == pmo {
+					access[b.ID] = true
+				}
+			case ir.Call:
+				if ins.accesses[in.Sym][pmo] {
+					callTaint[b.ID] = true
+				}
+			}
+		}
+	}
+	return access, callTaint
+}
+
+// cover implements the PMO-WFG construction loop of Algorithm 1: for each
+// unvisited access block, grow through the region chain while the
+// next-level region's LET stays under the threshold and the region stays
+// free of call-tainted blocks, then mark all covered access blocks
+// visited.
+func cover(rs *ir.Regions, access, callTaint map[int]bool, threshold uint64) []*site {
+	return coverChains(rs, access, callTaint, threshold, nil)
+}
+
+// coverWithin restricts the cover to subregions of graph g.
+func coverWithin(rs *ir.Regions, g *site, access, callTaint map[int]bool, threshold uint64) []*site {
+	inner := map[int]bool{}
+	if g.region != nil {
+		for b := range access {
+			if g.region.Blocks[b] {
+				inner[b] = true
+			}
+		}
+	} else {
+		if access[g.block] {
+			inner[g.block] = true
+		}
+	}
+	var limit map[int]bool
+	if g.region != nil {
+		limit = g.region.Blocks
+	} else {
+		limit = map[int]bool{g.block: true}
+	}
+	return coverChains(rs, inner, callTaint, threshold, limit)
+}
+
+func coverChains(rs *ir.Regions, access, callTaint map[int]bool, threshold uint64, limit map[int]bool) []*site {
+	unvisited := map[int]bool{}
+	var order []int
+	for b := range access {
+		unvisited[b] = true
+		order = append(order, b)
+	}
+	sort.Ints(order)
+	claimed := map[int]bool{} // blocks already inside a chosen graph
+	var out []*site
+	for _, b := range order {
+		if !unvisited[b] {
+			continue
+		}
+		var chosen *ir.Region
+		for _, r := range rs.ChainOf(b) {
+			if r.LET >= threshold {
+				break
+			}
+			if limit != nil && !containedIn(r.Blocks, limit) {
+				break
+			}
+			if touches(r.Blocks, callTaint) {
+				break
+			}
+			if overlapsPartially(r.Blocks, claimed) {
+				// Growing further would interleave with an
+				// already chosen graph's window.
+				break
+			}
+			if r.Exit == -1 {
+				chosen = r
+				break
+			}
+			chosen = r
+		}
+		if chosen == nil {
+			// Even the smallest region exceeds the threshold (or
+			// is tainted): degenerate single-block site. The
+			// hardware timer bounds any oversized window.
+			out = append(out, &site{block: b})
+			delete(unvisited, b)
+			claimed[b] = true
+			continue
+		}
+		s := &site{region: chosen}
+		for a := range unvisited {
+			if chosen.Blocks[a] {
+				delete(unvisited, a)
+			}
+		}
+		for blk := range chosen.Blocks {
+			claimed[blk] = true
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// overlapsPartially reports whether the candidate region intersects the
+// blocks of a previously chosen graph; such a region is rejected because
+// its window would interleave with the earlier graph's window.
+func overlapsPartially(set, claimed map[int]bool) bool {
+	for b := range claimed {
+		if set[b] {
+			return true
+		}
+	}
+	return false
+}
+
+func containedIn(inner, outer map[int]bool) bool {
+	for b := range inner {
+		if !outer[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func touches(blocks, taint map[int]bool) bool {
+	for b := range taint {
+		if blocks[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// permOf computes the permission to request: read-write if any covered
+// access stores to the PMO, else read-only (least privilege).
+func permOf(f *ir.Func, s *site, access map[int]bool, pmo string) int64 {
+	check := func(id int) bool {
+		for _, in := range f.Blocks[id].Instrs {
+			if in.Op == ir.StorePM && in.Sym == pmo {
+				return true
+			}
+		}
+		return false
+	}
+	if s.region == nil {
+		if check(s.block) {
+			return 3
+		}
+		return 1
+	}
+	for b := range s.region.Blocks {
+		if access[b] && check(b) {
+			return 3
+		}
+	}
+	return 1
+}

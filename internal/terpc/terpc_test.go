@@ -1,0 +1,358 @@
+package terpc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// straightLine builds a function with one block of PMO accesses.
+func straightLine() *ir.Program {
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "data", Elems: 1024})
+	f := ir.NewFunc("main")
+	b := f.NewBlock()
+	addr := f.NewReg()
+	v := f.NewReg()
+	b.Emit(ir.Instr{Op: ir.Const, Dst: addr, Imm: 0})
+	b.Emit(ir.Instr{Op: ir.LoadPM, Dst: v, A: addr, Sym: "data"})
+	b.Emit(ir.Instr{Op: ir.StorePM, A: addr, B: v, Sym: "data"})
+	b.Term, b.Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+	return p
+}
+
+// loopProgram builds: entry -> loop{ pmo access + compute } -> exit.
+func loopProgram(computePerIter int64, trips int) *ir.Program {
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "grid", Elems: 4096})
+	f := ir.NewFunc("main")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	i := f.NewReg()
+	c := f.NewReg()
+	v := f.NewReg()
+	b0.Emit(ir.Instr{Op: ir.Const, Dst: i, Imm: 0})
+	b0.Term, b0.Succs = ir.Jmp, []int{b1.ID}
+	b1.Emit(ir.Instr{Op: ir.Const, Dst: c, Imm: 1})
+	b1.Term, b1.Cond, b1.Succs = ir.Br, c, []int{b2.ID, b3.ID}
+	b1.TripHint = trips
+	b2.Emit(ir.Instr{Op: ir.LoadPM, Dst: v, A: i, Sym: "grid"})
+	b2.Emit(ir.Instr{Op: ir.Compute, Imm: computePerIter})
+	b2.Emit(ir.Instr{Op: ir.StorePM, A: i, B: v, Sym: "grid"})
+	b2.Term, b2.Succs = ir.Jmp, []int{b1.ID}
+	b3.Term, b3.Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+	return p
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStraightLineMERRInsertion(t *testing.T) {
+	p := straightLine()
+	rep, err := Insert(p, Options{EWThreshold: 88000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["main"]
+	if countOps(f, ir.Attach) != 1 || countOps(f, ir.Detach) != 1 {
+		t.Fatalf("inserted %d/%d, want 1/1\n%s",
+			countOps(f, ir.Attach), countOps(f, ir.Detach), f)
+	}
+	if rep.TotalInserted() != 2 {
+		t.Fatalf("report total = %d", rep.TotalInserted())
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermissionLeastPrivilege(t *testing.T) {
+	// Load-only program gets a read-only attach.
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "ro", Elems: 16})
+	f := ir.NewFunc("main")
+	b := f.NewBlock()
+	r := f.NewReg()
+	b.Emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 0})
+	b.Emit(ir.Instr{Op: ir.LoadPM, Dst: r, A: r, Sym: "ro"})
+	b.Term, b.Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+	if _, err := Insert(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.Attach && in.Imm != 1 {
+			t.Fatalf("attach perm = %d, want read-only 1", in.Imm)
+		}
+	}
+	// The store version gets read-write.
+	p2 := straightLine()
+	if _, err := Insert(p2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range p2.Funcs["main"].Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Attach {
+				found = true
+				if in.Imm != 3 {
+					t.Fatalf("attach perm = %d, want rw 3", in.Imm)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no attach inserted")
+	}
+}
+
+func TestLoopBodyInsertionWhenLoopTooLong(t *testing.T) {
+	// Each iteration is ~2000 cycles; 1000 trips make the whole loop
+	// ~2M cycles, far over an 88k EW threshold. The insertion must fall
+	// inside the loop (per-iteration window), not around it.
+	p := loopProgram(2000, 0)
+	if _, err := Insert(p, Options{EWThreshold: 88000}); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["main"]
+	// Attach must be inside the loop body (block 2) or its subchain,
+	// not in the entry block.
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.Attach {
+			t.Fatalf("attach hoisted out of overlong loop\n%s", f)
+		}
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	if countOps(f, ir.Attach) == 0 {
+		t.Fatalf("no attach inserted\n%s", f)
+	}
+}
+
+func TestShortLoopHoistedToOneWindow(t *testing.T) {
+	// 10 trips x tiny body is far under the threshold: the whole loop
+	// should form one window (attach before, detach after).
+	p := loopProgram(10, 10)
+	if _, err := Insert(p, Options{EWThreshold: 88000}); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["main"]
+	if got := countOps(f, ir.Attach); got != 1 {
+		t.Fatalf("attaches = %d, want 1 (hoisted)\n%s", got, f)
+	}
+	// The loop body itself must not attach per iteration.
+	for _, in := range f.Blocks[2].Instrs {
+		if in.Op == ir.Attach {
+			t.Fatalf("attach inside short loop body\n%s", f)
+		}
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiamondPathSensitiveCoverage(t *testing.T) {
+	// if/else where only one arm touches the PMO: both paths must stay
+	// balanced and the access covered.
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "d", Elems: 64})
+	f := ir.NewFunc("main")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	c := f.NewReg()
+	v := f.NewReg()
+	b0.Emit(ir.Instr{Op: ir.Const, Dst: c, Imm: 1})
+	b0.Term, b0.Cond, b0.Succs = ir.Br, c, []int{b1.ID, b2.ID}
+	b1.Emit(ir.Instr{Op: ir.LoadPM, Dst: v, A: c, Sym: "d"})
+	b1.Term, b1.Succs = ir.Jmp, []int{b3.ID}
+	b2.Emit(ir.Instr{Op: ir.Compute, Imm: 5})
+	b2.Term, b2.Succs = ir.Jmp, []int{b3.ID}
+	b3.Term, b3.Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+	if _, err := Insert(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	if countOps(f, ir.Attach) == 0 {
+		t.Fatal("access not covered")
+	}
+}
+
+func TestTEWSubdivision(t *testing.T) {
+	// A long straight region of several PMO-access blocks: with a TEW
+	// threshold the pass must produce multiple small windows rather
+	// than one big one.
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "m", Elems: 1024})
+	f := ir.NewFunc("main")
+	n := 6
+	blocks := make([]*ir.Block, n+1)
+	for i := 0; i <= n; i++ {
+		blocks[i] = f.NewBlock()
+	}
+	r := f.NewReg()
+	for i := 0; i < n; i++ {
+		blocks[i].Emit(ir.Instr{Op: ir.LoadPM, Dst: r, A: r, Sym: "m"})
+		blocks[i].Emit(ir.Instr{Op: ir.Compute, Imm: 1500})
+		blocks[i].Term, blocks[i].Succs = ir.Jmp, []int{blocks[i+1].ID}
+	}
+	blocks[n].Term, blocks[n].Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+
+	// TEW threshold of ~2 blocks worth: expect >= 2 windows.
+	if _, err := Insert(p, Options{EWThreshold: 1 << 30, TEWThreshold: 3500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countOps(f, ir.Attach); got < 2 {
+		t.Fatalf("TEW subdivision produced %d windows\n%s", got, f)
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	if countOps(f, ir.Attach) != countOps(f, ir.Detach) {
+		t.Fatal("unbalanced insertion")
+	}
+}
+
+func TestCalleeHandlesItsOwnPMOs(t *testing.T) {
+	// main calls op() in a loop; op() accesses the PMO. The insertion
+	// must instrument op(), and main must NOT wrap the calls (that
+	// would overlap with the callee's windows within the thread).
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "kv", Elems: 256})
+	op := ir.NewFunc("op")
+	ob := op.NewBlock()
+	r := op.NewReg()
+	ob.Emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 8})
+	ob.Emit(ir.Instr{Op: ir.StorePM, A: r, B: r, Sym: "kv"})
+	ob.Term, ob.Cond = ir.Ret, -1
+	p.Funcs["op"] = op
+
+	main := ir.NewFunc("main")
+	b0, b1, b2, b3 := main.NewBlock(), main.NewBlock(), main.NewBlock(), main.NewBlock()
+	c := main.NewReg()
+	b0.Term, b0.Succs = ir.Jmp, []int{b1.ID}
+	b1.Emit(ir.Instr{Op: ir.Const, Dst: c, Imm: 1})
+	b1.Term, b1.Cond, b1.Succs = ir.Br, c, []int{b2.ID, b3.ID}
+	b2.Emit(ir.Instr{Op: ir.Call, Dst: c, Sym: "op"})
+	b2.Term, b2.Succs = ir.Jmp, []int{b1.ID}
+	b3.Term, b3.Cond = ir.Ret, -1
+	p.Funcs["main"] = main
+
+	rep, err := Insert(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOps(op, ir.Attach) != 1 {
+		t.Fatalf("op not instrumented\n%s", op)
+	}
+	if countOps(main, ir.Attach) != 0 {
+		t.Fatalf("main wrapped callee accesses\n%s", main)
+	}
+	if rep.FuncLET["op"] == 0 {
+		t.Fatal("op LET missing")
+	}
+	if rep.FuncLET["main"] <= rep.FuncLET["op"] {
+		t.Fatal("caller LET must include callee LET and loop trips")
+	}
+}
+
+func TestMultiplePMOsIndependentWindows(t *testing.T) {
+	p := ir.NewProgram()
+	p.PMOs = append(p.PMOs, ir.PMODecl{Name: "a", Elems: 64}, ir.PMODecl{Name: "b", Elems: 64})
+	f := ir.NewFunc("main")
+	blk := f.NewBlock()
+	r := f.NewReg()
+	blk.Emit(ir.Instr{Op: ir.Const, Dst: r, Imm: 0})
+	blk.Emit(ir.Instr{Op: ir.LoadPM, Dst: r, A: r, Sym: "a"})
+	blk.Emit(ir.Instr{Op: ir.StorePM, A: r, B: r, Sym: "b"})
+	blk.Term, blk.Cond = ir.Ret, -1
+	p.Funcs["main"] = f
+	if _, err := Insert(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if countOps(f, ir.Attach) != 2 || countOps(f, ir.Detach) != 2 {
+		t.Fatalf("per-PMO windows missing\n%s", f)
+	}
+	if err := Verify(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesUncovered(t *testing.T) {
+	p := straightLine()
+	f := p.Funcs["main"]
+	if err := Verify(f, nil); err == nil || !strings.Contains(err.Error(), "uncovered") {
+		t.Fatalf("uninstrumented function passed verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesOverlap(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.NewBlock()
+	b.Emit(ir.Instr{Op: ir.Attach, Sym: "x", Imm: 3})
+	b.Emit(ir.Instr{Op: ir.Attach, Sym: "x", Imm: 3})
+	b.Term, b.Cond = ir.Ret, -1
+	if err := Verify(f, nil); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping attach passed: %v", err)
+	}
+}
+
+func TestVerifyCatchesLeakAtReturn(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.NewBlock()
+	b.Emit(ir.Instr{Op: ir.Attach, Sym: "x", Imm: 3})
+	b.Term, b.Cond = ir.Ret, -1
+	if err := Verify(f, nil); err == nil || !strings.Contains(err.Error(), "still attached") {
+		t.Fatalf("leaked attach passed: %v", err)
+	}
+}
+
+func TestVerifyCatchesUnbalancedDetach(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.NewBlock()
+	b.Emit(ir.Instr{Op: ir.Detach, Sym: "x"})
+	b.Term, b.Cond = ir.Ret, -1
+	if err := Verify(f, nil); err == nil {
+		t.Fatal("stray detach passed")
+	}
+}
+
+func TestVerifyCatchesCallNesting(t *testing.T) {
+	f := ir.NewFunc("bad")
+	b := f.NewBlock()
+	b.Emit(ir.Instr{Op: ir.Attach, Sym: "x", Imm: 3})
+	b.Emit(ir.Instr{Op: ir.Call, Sym: "op"})
+	b.Emit(ir.Instr{Op: ir.Detach, Sym: "x"})
+	b.Term, b.Cond = ir.Ret, -1
+	callAccess := map[string]map[string]bool{"op": {"x": true}}
+	if err := Verify(f, callAccess); err == nil || !strings.Contains(err.Error(), "nest") {
+		t.Fatalf("call nesting passed: %v", err)
+	}
+}
+
+func TestDeterministicInsertion(t *testing.T) {
+	render := func() string {
+		p := loopProgram(2000, 0)
+		if _, err := Insert(p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return p.Funcs["main"].String()
+	}
+	if render() != render() {
+		t.Fatal("insertion not deterministic")
+	}
+}

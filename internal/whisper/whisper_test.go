@@ -1,0 +1,346 @@
+package whisper
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nvm"
+	"repro/internal/paging"
+	"repro/internal/params"
+	"repro/internal/pmo"
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+const testOps = 1500
+
+func runOne(t *testing.T, scheme params.Scheme, mk func() Workload) core.Result {
+	t.Helper()
+	cfg := params.NewConfig(scheme, params.DefaultEWMicros)
+	res, err := Run(cfg, mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllWorkloadsRunUnderTT(t *testing.T) {
+	for _, mk := range All() {
+		mk := mk
+		name := mk().Name()
+		t.Run(name, func(t *testing.T) {
+			res := runOne(t, params.TT, mk)
+			if res.Counts.Faults != 0 {
+				t.Fatalf("faults = %d", res.Counts.Faults)
+			}
+			if res.Counts.CondOps != 2*testOps {
+				t.Fatalf("cond ops = %d, want %d", res.Counts.CondOps, 2*testOps)
+			}
+			if res.Exposure.EWCount == 0 {
+				t.Fatal("no exposure windows")
+			}
+		})
+	}
+}
+
+func TestTTSilentFractionHigh(t *testing.T) {
+	res := runOne(t, params.TT, func() Workload { return NewHashmap() })
+	if res.Counts.SilentPercent() < 70 {
+		t.Fatalf("silent%% = %.1f, want most ops silent", res.Counts.SilentPercent())
+	}
+}
+
+func TestTTExposureWindowNearTarget(t *testing.T) {
+	res := runOne(t, params.TT, func() Workload { return NewRedis() })
+	target := params.ToMicros(params.Micros(params.DefaultEWMicros))
+	avg := params.ToMicros(uint64(res.Exposure.AvgEW))
+	max := params.ToMicros(uint64(res.Exposure.MaxEW))
+	// Stable windows near the target: avg within [50%, 120%], max
+	// bounded by target plus sweep and idle slack.
+	if avg < 0.5*target || avg > 1.2*target {
+		t.Fatalf("avg EW %.1fus vs target %.1fus", avg, target)
+	}
+	if max > 1.5*target {
+		t.Fatalf("max EW %.1fus vs target %.1fus", max, target)
+	}
+}
+
+func TestTTThreadExposureTiny(t *testing.T) {
+	res := runOne(t, params.TT, func() Workload { return NewHashmap() })
+	if res.Exposure.TEWCount == 0 {
+		t.Fatal("no TEWs")
+	}
+	avgTEW := params.ToMicros(uint64(res.Exposure.AvgTEW))
+	if avgTEW > params.DefaultTEWMicros*2 {
+		t.Fatalf("avg TEW %.2fus exceeds target x2", avgTEW)
+	}
+	if res.Exposure.TER >= res.Exposure.ER {
+		t.Fatalf("TER %.3f should be far below ER %.3f", res.Exposure.TER, res.Exposure.ER)
+	}
+}
+
+func TestMMWindowsUnstableAndBelowTarget(t *testing.T) {
+	res := runOne(t, params.MM, func() Workload { return NewHashmap() })
+	target := float64(params.Micros(params.DefaultEWMicros))
+	if res.Exposure.AvgEW >= target {
+		t.Fatalf("MM avg EW %.0f should sit below target %.0f", res.Exposure.AvgEW, target)
+	}
+	if res.Exposure.TEWCount != 0 {
+		t.Fatal("MM must not record TEWs")
+	}
+	if res.Counts.SilentOps != 0 {
+		t.Fatal("MM has no conditional ops")
+	}
+}
+
+func TestOverheadOrderingTTvsMMvsTM(t *testing.T) {
+	mk := func() Workload { return NewHashmap() }
+	ovTT, _, _, err := Overhead(params.NewConfig(params.TT, 40), mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovMM, _, _, err := Overhead(params.NewConfig(params.MM, 40), mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovTM, _, _, err := Overhead(params.NewConfig(params.TM, 40), mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ovTT < ovMM && ovMM < ovTM) {
+		t.Fatalf("overhead ordering TT(%.3f) < MM(%.3f) < TM(%.3f) violated", ovTT, ovMM, ovTM)
+	}
+	if ovTT < 0 || ovTT > 0.5 {
+		t.Fatalf("TT overhead %.3f out of plausible range", ovTT)
+	}
+}
+
+func TestLargerEWLowersOverhead(t *testing.T) {
+	mk := func() Workload { return NewYCSB() }
+	ov40, _, _, err := Overhead(params.NewConfig(params.TT, 40), mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov160, _, _, err := Overhead(params.NewConfig(params.TT, 160), mk, RunOpts{Ops: testOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov160 > ov40+0.005 {
+		t.Fatalf("overhead did not drop with larger EW: 40us=%.4f 160us=%.4f", ov40, ov160)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	mk := func() Workload { return NewTPCC() }
+	a, err := Run(params.NewConfig(params.TT, 40), mk, RunOpts{Ops: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(params.NewConfig(params.TT, 40), mk, RunOpts{Ops: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Counts != b.Counts {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"echo", "ycsb", "tpcc", "ctree", "hashmap", "redis"} {
+		mk, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk().Name() != name {
+			t.Fatalf("ByName(%q) returned %q", name, mk().Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestHashCorrectness(t *testing.T) {
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
+	rt := core.NewRuntime(unprotCfg(), mgr)
+	ctx := rt.NewThread(sim.SingleThread())
+	p, log, err := setupCommon(mgr, "t", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Attach(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHash(p, 1<<10, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		k := uint64(r.Intn(300)) + 1
+		v := r.Uint64()
+		if err := h.Put(ctx, k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for k, v := range want {
+		got, ok, err := h.Get(ctx, k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("get %d = %d,%v,%v want %d", k, got, ok, err, v)
+		}
+	}
+	if _, ok, _ := h.Get(ctx, 999999); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestTreeCorrectness(t *testing.T) {
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
+	rt := core.NewRuntime(unprotCfg(), mgr)
+	ctx := rt.NewThread(sim.SingleThread())
+	p, log, err := setupCommon(mgr, "t", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Attach(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTree(p, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		k := uint64(r.Intn(200)) + 1
+		v := r.Uint64()
+		if err := tr.Insert(ctx, k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for k, v := range want {
+		got, ok, err := tr.Lookup(ctx, k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("lookup %d = %d,%v,%v want %d", k, got, ok, err, v)
+		}
+	}
+	if _, ok, _ := tr.Lookup(ctx, 5000); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestHashRejectsBadCapacity(t *testing.T) {
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
+	rt := core.NewRuntime(unprotCfg(), mgr)
+	ctx := rt.NewThread(sim.SingleThread())
+	p, log, err := setupCommon(mgr, "t", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHash(p, 100, log); err == nil {
+		t.Fatal("non-power-of-two capacity accepted")
+	}
+}
+
+// TestCrashInjectionDuringPuts crashes the machine at random points in a
+// stream of transactional puts and checks that recovery always leaves the
+// table consistent: every committed key still reads its committed value
+// and no torn entry survives.
+func TestCrashInjectionDuringPuts(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		dev := nvm.NewDevice(nvm.NVM, 2*pmoSize)
+		mgr := pmo.NewManager(dev)
+		rt := core.NewRuntime(unprotCfg(), mgr)
+		ctx := rt.NewThread(sim.SingleThread())
+		p, err := mgr.Create("crash", 1<<22, pmo.ModeRead|pmo.ModeWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log, logOID, err := txn.NewLog(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.SetSink(ctx)
+		if err := ctx.Attach(p, paging.ReadWrite); err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHash(p, 1<<10, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := map[uint64]uint64{}
+		crashAfter := r.Intn(40)
+		for i := 0; i <= crashAfter; i++ {
+			k := uint64(r.Intn(100)) + 1
+			v := r.Uint64()
+			if i == crashAfter {
+				// Begin the transaction but crash before commit:
+				// log the key write only, leaving a torn state
+				// that recovery must undo.
+				if err := log.Begin(); err != nil {
+					t.Fatal(err)
+				}
+				slot := h.slot(mix(k))
+				if err := log.Write(slot, k); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			if err := h.Put(ctx, k, v); err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = v
+		}
+
+		// Crash: volatile state gone, NVM intact. Recover the log.
+		log2, err := txn.OpenLog(p, logOID, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log2.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		h2 := &Hash{p: p, base: h.base, cap: h.cap, log: log2}
+		for k, v := range committed {
+			got, ok, err := h2.Get(ctx, k)
+			if err != nil || !ok || got != v {
+				t.Fatalf("trial %d: committed key %d = %d,%v,%v want %d",
+					trial, k, got, ok, err, v)
+			}
+		}
+	}
+}
+
+func TestWorkloadCharacterDifferences(t *testing.T) {
+	// The six workloads must be genuinely different programs, visible
+	// in their exposure characters: redis (read-mostly, busy) runs more
+	// ops per unit time than tpcc (multi-write transactions), and
+	// write-heavy workloads make more attach requests with write
+	// permission (observable through higher persistence cost).
+	results := map[string]core.Result{}
+	for _, mk := range All() {
+		w := mk()
+		res, err := Run(params.NewConfig(params.TT, 40), mk, RunOpts{Ops: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[w.Name()] = res
+	}
+	if results["redis"].CondFreqPerSec() <= results["tpcc"].CondFreqPerSec() {
+		t.Fatalf("redis (%f/s) should issue ops faster than tpcc (%f/s)",
+			results["redis"].CondFreqPerSec(), results["tpcc"].CondFreqPerSec())
+	}
+	// All six must produce distinct cycle counts (not clones).
+	seen := map[uint64]string{}
+	for name, res := range results {
+		if prev, dup := seen[res.Cycles]; dup {
+			t.Fatalf("%s and %s have identical cycle counts", name, prev)
+		}
+		seen[res.Cycles] = name
+	}
+}

@@ -1,0 +1,512 @@
+package whisper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/paging"
+	"repro/internal/pmo"
+	"repro/internal/txn"
+)
+
+// Workload is one WHISPER benchmark: a persistent application whose
+// operations the driver measures under a protection scheme. Setup runs
+// unprotected (the load phase is not measured); Op performs one
+// transaction's PM accesses through the context and assumes the driver
+// attached the PMO.
+type Workload interface {
+	// Name is the benchmark name used in the tables.
+	Name() string
+	// Setup creates the PMO and initial data in the manager.
+	Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error
+	// Op performs one operation's PM accesses.
+	Op(ctx *core.ThreadCtx, rng *rand.Rand) error
+	// PMO returns the workload's (single) PMO.
+	PMO() *pmo.PMO
+	// Profile returns the workload's timing profile.
+	Profile() Profile
+}
+
+// Profile describes an operation's non-PM work, which shapes exposure
+// rates: Parse cycles run inside the request (before the PM section) and
+// IdleBase/IdleSpread cycles of think time follow each operation.
+type Profile struct {
+	// Parse is per-op request parsing work in cycles.
+	Parse uint64
+	// IdleBase and IdleSpread give the uniform think time between ops.
+	IdleBase, IdleSpread uint64
+	// EstOpCycles is the programmer's conservative static estimate of
+	// one operation's duration, used by the MM insertion to size its
+	// manual batches (conservative estimates under-fill the window,
+	// which is why MM's measured EWs sit well below the target).
+	EstOpCycles uint64
+}
+
+// pmoSize is the default PMO size; the paper uses 1 GB.
+const pmoSize = 1 << 30
+
+// setupCommon creates the PMO and an undo log inside it.
+func setupCommon(mgr *pmo.Manager, name string, ctx *core.ThreadCtx) (*pmo.PMO, *txn.Log, error) {
+	p, err := mgr.Create(name, pmoSize, pmo.ModeRead|pmo.ModeWrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, _, err := txn.NewLog(p, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	log.SetSink(ctx)
+	return p, log, nil
+}
+
+// --- hashmap ---------------------------------------------------------------
+
+// Hashmap is the WHISPER hashmap benchmark: uniform 50/50 get/put over a
+// persistent open-addressing table.
+type Hashmap struct {
+	p    *pmo.PMO
+	h    *Hash
+	keys uint64
+}
+
+// NewHashmap returns the benchmark with the default key range.
+func NewHashmap() *Hashmap { return &Hashmap{keys: 1 << 16} }
+
+// Name implements Workload.
+func (w *Hashmap) Name() string { return "hashmap" }
+
+// PMO implements Workload.
+func (w *Hashmap) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *Hashmap) Profile() Profile {
+	return Profile{Parse: 4000, IdleBase: 11000, IdleSpread: 7000, EstOpCycles: 25000}
+}
+
+// Setup implements Workload.
+func (w *Hashmap) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.h, err = NewHash(p, 1<<17, log)
+	if err != nil {
+		return err
+	}
+	// Preload half the keys directly (unmeasured load phase).
+	for k := uint64(1); k <= w.keys/2; k++ {
+		if err := w.preload(k, k*3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// preload inserts without the runtime (load phase).
+func (w *Hashmap) preload(key, val uint64) error {
+	i := mix(key)
+	for probe := uint64(0); ; probe++ {
+		so := w.h.slot(i + probe)
+		k, err := w.p.Read8(so.Offset())
+		if err != nil {
+			return err
+		}
+		if k == 0 || k == key {
+			if err := w.p.Write8(so.Offset(), key); err != nil {
+				return err
+			}
+			return w.p.Write8(so.Offset()+8, val)
+		}
+	}
+}
+
+// Op implements Workload.
+func (w *Hashmap) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	key := uint64(rng.Int63n(int64(w.keys))) + 1
+	if rng.Intn(2) == 0 {
+		_, _, err := w.h.Get(ctx, key)
+		return err
+	}
+	return w.h.Put(ctx, key, rng.Uint64())
+}
+
+// --- ctree -----------------------------------------------------------------
+
+// Ctree is the WHISPER crit-bit tree benchmark analog: mixed
+// insert/lookup over a persistent binary search tree.
+type Ctree struct {
+	p    *pmo.PMO
+	t    *Tree
+	keys uint64
+}
+
+// NewCtree returns the benchmark.
+func NewCtree() *Ctree { return &Ctree{keys: 1 << 14} }
+
+// Name implements Workload.
+func (w *Ctree) Name() string { return "ctree" }
+
+// PMO implements Workload.
+func (w *Ctree) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *Ctree) Profile() Profile {
+	return Profile{Parse: 4500, IdleBase: 12000, IdleSpread: 7000, EstOpCycles: 28000}
+}
+
+// Setup implements Workload.
+func (w *Ctree) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.t, err = NewTree(p, log)
+	if err != nil {
+		return err
+	}
+	// Preload keys in shuffled order through an unprotected context so
+	// the tree is reasonably balanced (load phase, not measured).
+	load := core.NewRuntime(unprotCfg(), mgr).NewThread(newLoadThread())
+	if err := load.Attach(p, paging.ReadWrite); err != nil {
+		return err
+	}
+	perm := rng.Perm(int(w.keys / 2))
+	for _, k := range perm {
+		if err := w.t.Insert(load, uint64(k)+1, uint64(k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (w *Ctree) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	key := uint64(rng.Int63n(int64(w.keys))) + 1
+	if rng.Intn(2) == 0 {
+		_, _, err := w.t.Lookup(ctx, key)
+		return err
+	}
+	return w.t.Insert(ctx, key, key^0xabcdef)
+}
+
+// --- echo ------------------------------------------------------------------
+
+// Echo models the Echo versioned key-value store: puts append a record to
+// a persistent log and update the index; gets read through the index.
+type Echo struct {
+	p      *pmo.PMO
+	h      *Hash
+	logOff pmo.OID // append-only record area cursor cell
+	keys   uint64
+}
+
+// NewEcho returns the benchmark.
+func NewEcho() *Echo { return &Echo{keys: 1 << 15} }
+
+// Name implements Workload.
+func (w *Echo) Name() string { return "echo" }
+
+// PMO implements Workload.
+func (w *Echo) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *Echo) Profile() Profile {
+	return Profile{Parse: 5000, IdleBase: 14000, IdleSpread: 9000, EstOpCycles: 30000}
+}
+
+// Setup implements Workload.
+func (w *Echo) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.h, err = NewHash(p, 1<<16, log)
+	if err != nil {
+		return err
+	}
+	area, err := p.Alloc(uint64(w.keys) * 8 * 8)
+	if err != nil {
+		return err
+	}
+	cur, err := p.Alloc(16)
+	if err != nil {
+		return err
+	}
+	if err := p.Write8(cur.Offset(), uint64(area)); err != nil {
+		return err
+	}
+	if err := p.Write8(cur.Offset()+8, 0); err != nil { // version counter
+		return err
+	}
+	w.logOff = cur
+	return nil
+}
+
+// Op implements Workload.
+func (w *Echo) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	key := uint64(rng.Int63n(int64(w.keys))) + 1
+	if rng.Intn(100) < 40 {
+		_, _, err := w.h.Get(ctx, key)
+		return err
+	}
+	// Versioned put: bump the version, append (key,version,value) to
+	// the record area, point the index at the record.
+	verCell := pmo.MakeOID(w.p.ID, w.logOff.Offset()+8)
+	ver, err := ctx.Load(verCell)
+	if err != nil {
+		return err
+	}
+	ver++
+	if err := ctx.Store(verCell, ver); err != nil {
+		return err
+	}
+	areaRaw, err := ctx.Load(w.logOff)
+	if err != nil {
+		return err
+	}
+	area := pmo.OID(areaRaw)
+	// Records are 24 bytes in a ring over the allocated area.
+	nrecs := uint64(w.keys) * 8 * 8 / 24
+	rec := pmo.MakeOID(w.p.ID, area.Offset()+(ver%nrecs)*24)
+	if err := ctx.Store(rec, key); err != nil {
+		return err
+	}
+	if err := ctx.Store(pmo.MakeOID(w.p.ID, rec.Offset()+8), ver); err != nil {
+		return err
+	}
+	if err := ctx.Store(pmo.MakeOID(w.p.ID, rec.Offset()+16), rng.Uint64()); err != nil {
+		return err
+	}
+	return w.h.Put(ctx, key, uint64(rec))
+}
+
+// --- redis -----------------------------------------------------------------
+
+// Redis models a Redis-like store: GET-heavy traffic with SET and
+// list-push updates.
+type Redis struct {
+	p    *pmo.PMO
+	h    *Hash
+	keys uint64
+}
+
+// NewRedis returns the benchmark.
+func NewRedis() *Redis { return &Redis{keys: 1 << 16} }
+
+// Name implements Workload.
+func (w *Redis) Name() string { return "redis" }
+
+// PMO implements Workload.
+func (w *Redis) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *Redis) Profile() Profile {
+	// Redis ops are light and frequent: short idle gaps keep the PMO
+	// window busy (the paper reports Redis with the highest ER).
+	return Profile{Parse: 1500, IdleBase: 3500, IdleSpread: 2500, EstOpCycles: 12000}
+}
+
+// Setup implements Workload.
+func (w *Redis) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.h, err = NewHash(p, 1<<17, log)
+	if err != nil {
+		return err
+	}
+	for k := uint64(1); k <= w.keys/4; k++ {
+		hm := &Hashmap{p: p, h: w.h}
+		if err := hm.preload(k, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (w *Redis) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	key := uint64(rng.Int63n(int64(w.keys))) + 1
+	if rng.Intn(100) < 80 {
+		_, _, err := w.h.Get(ctx, key)
+		return err
+	}
+	return w.h.Put(ctx, key, rng.Uint64())
+}
+
+// --- ycsb ------------------------------------------------------------------
+
+// YCSB models workload B (95% reads, 5% updates) with a Zipf-like skew.
+type YCSB struct {
+	p    *pmo.PMO
+	h    *Hash
+	zipf *rand.Zipf
+	keys uint64
+}
+
+// NewYCSB returns the benchmark.
+func NewYCSB() *YCSB { return &YCSB{keys: 1 << 16} }
+
+// Name implements Workload.
+func (w *YCSB) Name() string { return "ycsb" }
+
+// PMO implements Workload.
+func (w *YCSB) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *YCSB) Profile() Profile {
+	return Profile{Parse: 4000, IdleBase: 11000, IdleSpread: 7000, EstOpCycles: 25000}
+}
+
+// Setup implements Workload.
+func (w *YCSB) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p = p
+	w.h, err = NewHash(p, 1<<17, log)
+	if err != nil {
+		return err
+	}
+	w.zipf = rand.NewZipf(rng, 1.1, 1, w.keys-1)
+	for k := uint64(1); k <= w.keys/2; k++ {
+		hm := &Hashmap{p: p, h: w.h}
+		if err := hm.preload(k, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (w *YCSB) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	key := w.zipf.Uint64() + 1
+	if rng.Intn(100) < 95 {
+		_, _, err := w.h.Get(ctx, key)
+		return err
+	}
+	return w.h.Put(ctx, key, rng.Uint64())
+}
+
+// --- tpcc ------------------------------------------------------------------
+
+// TPCC models the new-order transaction: read a district row, advance its
+// order counter, insert an order and its order lines — all under one undo
+// transaction.
+type TPCC struct {
+	p         *pmo.PMO
+	log       *txn.Log
+	districts pmo.OID // [nextOID x 10]
+	orders    pmo.OID // ring of order records
+	lines     pmo.OID // ring of order lines
+	nOrders   uint64
+}
+
+// NewTPCC returns the benchmark.
+func NewTPCC() *TPCC { return &TPCC{nOrders: 1 << 14} }
+
+// Name implements Workload.
+func (w *TPCC) Name() string { return "tpcc" }
+
+// PMO implements Workload.
+func (w *TPCC) PMO() *pmo.PMO { return w.p }
+
+// Profile implements Workload.
+func (w *TPCC) Profile() Profile {
+	return Profile{Parse: 6000, IdleBase: 12000, IdleSpread: 8000, EstOpCycles: 35000}
+}
+
+// Setup implements Workload.
+func (w *TPCC) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
+	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	if err != nil {
+		return err
+	}
+	w.p, w.log = p, log
+	if w.districts, err = p.Alloc(10 * 8); err != nil {
+		return err
+	}
+	if w.orders, err = p.Alloc(w.nOrders * 24); err != nil {
+		return err
+	}
+	if w.lines, err = p.Alloc(w.nOrders * 15 * 16); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (w *TPCC) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
+	district := uint64(rng.Intn(10))
+	dCell := pmo.MakeOID(w.p.ID, w.districts.Offset()+district*8)
+	if err := w.log.Begin(); err != nil {
+		return err
+	}
+	next, err := ctx.Load(dCell)
+	if err != nil {
+		w.log.Abort()
+		return err
+	}
+	next++
+	if err := w.log.Write(dCell, next); err != nil {
+		w.log.Abort()
+		return err
+	}
+	if err := ctx.Store(dCell, next); err != nil {
+		w.log.Abort()
+		return err
+	}
+	// Insert the order record.
+	slot := next % w.nOrders
+	rec := pmo.MakeOID(w.p.ID, w.orders.Offset()+slot*24)
+	for i, v := range []uint64{next, district, uint64(rng.Intn(3000))} {
+		if err := ctx.Store(pmo.MakeOID(w.p.ID, rec.Offset()+uint64(i)*8), v); err != nil {
+			w.log.Abort()
+			return err
+		}
+	}
+	// Insert 5-15 order lines.
+	n := 5 + rng.Intn(11)
+	for l := 0; l < n; l++ {
+		lo := pmo.MakeOID(w.p.ID, w.lines.Offset()+(slot*15+uint64(l))*16)
+		if err := ctx.Store(lo, uint64(rng.Intn(100000))); err != nil {
+			w.log.Abort()
+			return err
+		}
+		if err := ctx.Store(pmo.MakeOID(w.p.ID, lo.Offset()+8), uint64(l)); err != nil {
+			w.log.Abort()
+			return err
+		}
+	}
+	return w.log.Commit()
+}
+
+// All returns constructors for the six WHISPER benchmarks in the paper's
+// table order.
+func All() []func() Workload {
+	return []func() Workload{
+		func() Workload { return NewEcho() },
+		func() Workload { return NewYCSB() },
+		func() Workload { return NewTPCC() },
+		func() Workload { return NewCtree() },
+		func() Workload { return NewHashmap() },
+		func() Workload { return NewRedis() },
+	}
+}
+
+// ByName returns the named workload constructor.
+func ByName(name string) (func() Workload, error) {
+	for _, mk := range All() {
+		if mk().Name() == name {
+			return mk, nil
+		}
+	}
+	return nil, fmt.Errorf("whisper: unknown workload %q", name)
+}
