@@ -1,94 +1,83 @@
 // Command terpbench regenerates every table and figure of the paper's
 // evaluation on the simulated machine:
 //
-//	terpbench -exp all                  # everything (paper-scale, slow)
-//	terpbench -exp table3 -ops 20000    # one experiment, smaller run
-//	terpbench -exp fig11 -scale 2       # bigger SPEC kernels
+//	terpbench -exp all                      # everything (paper-scale, slow)
+//	terpbench -exp all -parallel 8          # same results, 8 workers
+//	terpbench -exp table3 -ops 20000        # one experiment, smaller run
+//	terpbench -exp fig11 -scale 2           # bigger SPEC kernels
+//	terpbench -exp all -json results.json   # structured grids for trending
 //
-// Experiments: fig8, table3, fig9, table4, fig10, fig11, table5, table6.
+// Each experiment decomposes into independent simulation cells that run
+// on a worker pool; output is bit-identical at every -parallel value.
+//
+// Experiments: fig8, table3, fig9, table4, fig10, fig11, table5,
+// semantics, ewsweep, table6.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	terp "repro"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, table3, fig9, table4, fig10, fig11, table5, table6, semantics, ewsweep")
+	exp := flag.String("exp", "all", "experiment: all or one of "+strings.Join(terp.Experiments(), ", "))
 	ops := flag.Int("ops", 100_000, "WHISPER operations per run")
 	scale := flag.Int("scale", 1, "SPEC kernel scale factor")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment-cell workers (1 = serial)")
+	jsonPath := flag.String("json", "", "also write the structured result grids as JSON to this file")
+	progress := flag.Bool("progress", false, "print live cell progress to stderr")
 	flag.Parse()
 
-	o := terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
+	if *exp != "all" {
+		ok := false
+		for _, name := range terp.Experiments() {
+			if name == *exp {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "terpbench: unknown experiment %q\n", *exp)
+			fmt.Fprintln(os.Stderr, "valid: all, "+strings.Join(terp.Experiments(), ", "))
+			os.Exit(2)
+		}
+	}
 
-	if want("fig8") {
-		ran = true
-		res, err := terp.Figure8(o)
+	var grids []*terp.Grid
+	for _, name := range terp.Experiments() {
+		if *exp != "all" && *exp != name {
+			continue
+		}
+		spec := terp.ExperimentSpec{
+			Name:     name,
+			Opts:     terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed},
+			Parallel: *parallel,
+		}
+		if *progress {
+			spec.Progress = func(done, total int, cell string) {
+				fmt.Fprintf(os.Stderr, "\r%-60s [%d/%d]", cell, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		g, err := terp.Run(spec)
 		check(err)
-		fmt.Println(terp.FormatFigure8(res))
+		fmt.Println(g.Format())
+		grids = append(grids, g)
 	}
-	if want("table3") {
-		ran = true
-		rows, err := terp.Table3(o)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(grids, "", "  ")
 		check(err)
-		fmt.Println(terp.FormatTable3(rows))
-	}
-	if want("fig9") {
-		ran = true
-		bars, err := terp.Figure9(o)
-		check(err)
-		fmt.Println(terp.FormatOverheads("Figure 9: WHISPER execution-time overheads", bars))
-	}
-	if want("table4") {
-		ran = true
-		rows, err := terp.Table4(o)
-		check(err)
-		fmt.Println(terp.FormatTable4(rows))
-	}
-	if want("fig10") {
-		ran = true
-		bars, err := terp.Figure10(o)
-		check(err)
-		fmt.Println(terp.FormatOverheads("Figure 10: SPEC single-thread overheads", bars))
-	}
-	if want("fig11") {
-		ran = true
-		bars, err := terp.Figure11(o)
-		check(err)
-		fmt.Println(terp.FormatOverheads("Figure 11: SPEC 4-thread ablation", bars))
-	}
-	if want("table5") {
-		ran = true
-		fmt.Println(terp.FormatTable5(terp.Table5(0)))
-	}
-	if want("semantics") {
-		ran = true
-		fmt.Println(terp.FormatSemanticsStudy(terp.SemanticsStudy()))
-	}
-	if want("ewsweep") {
-		ran = true
-		rows, err := terp.EWSweep(o, nil)
-		check(err)
-		fmt.Println(terp.FormatEWSweep(rows))
-	}
-	if want("table6") {
-		ran = true
-		res, err := terp.Table6(o)
-		check(err)
-		fmt.Println(terp.FormatTable6(res))
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "terpbench: unknown experiment %q\n", *exp)
-		fmt.Fprintln(os.Stderr, "valid: all, "+strings.Join([]string{
-			"fig8", "table3", "fig9", "table4", "fig10", "fig11", "table5", "table6", "semantics", "ewsweep"}, ", "))
-		os.Exit(2)
+		check(os.WriteFile(*jsonPath, append(buf, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "terpbench: wrote %d grid(s) to %s\n", len(grids), *jsonPath)
 	}
 }
 

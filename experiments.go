@@ -1,13 +1,20 @@
 package terp
 
+// The experiment drivers: every table and figure of the paper's
+// evaluation is enumerated as a list of independent runner.Cell specs,
+// executed on the internal/runner worker pool, and assembled into typed
+// rows in enumeration order — so results are bit-identical at any
+// worker count. The public entry point is Run (run.go); the per-table
+// helpers below are thin wrappers over it.
+
 import (
 	"fmt"
 	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/core"
-	"repro/internal/lang"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/semantics"
 	"repro/internal/sim"
 	"repro/internal/speckit"
@@ -20,11 +27,11 @@ import (
 // paper's settings; tests and benchmarks shrink Ops/Scale for speed.
 type ExpOpts struct {
 	// Ops is the WHISPER operation count (paper: 100000).
-	Ops int
+	Ops int `json:"ops"`
 	// Scale multiplies the SPEC kernel sizes (paper-equivalent: 4+).
-	Scale int
+	Scale int `json:"scale"`
 	// Seed seeds every run.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 func (o ExpOpts) withDefaults() ExpOpts {
@@ -40,10 +47,45 @@ func (o ExpOpts) withDefaults() ExpOpts {
 	return o
 }
 
-func (o ExpOpts) cfg(s Scheme, ew float64) params.Config {
-	c := params.NewConfig(s, ew)
-	c.Seed = o.Seed
-	return c
+// --- cell enumeration helpers -----------------------------------------------
+
+// expConfig names one (scheme, EW target) configuration of a figure.
+type expConfig struct {
+	label  string
+	scheme Scheme
+	ew     float64
+}
+
+// overheadConfigs are the Figure 9/10 configurations.
+var overheadConfigs = []expConfig{
+	{"MM(40us)", MM, 40},
+	{"TM(40us)", TM, 40},
+	{"TT(40us)", TT, 40},
+	{"TT(80us)", TT, 80},
+	{"TT(160us)", TT, 160},
+}
+
+// ablationConfigs are the Figure 11 configurations.
+var ablationConfigs = []expConfig{
+	{"Basic(40us)", BasicSem, 40},
+	{"+Cond(40us)", PlusCond, 40},
+	{"+CB(40us)", PlusCB, 40},
+	{"TT(80us)", TT, 80},
+	{"TT(160us)", TT, 160},
+}
+
+func whisperCell(exp, label, workload string, s Scheme, ew float64, o ExpOpts) runner.Cell {
+	return runner.Cell{
+		Exp: exp, Label: label, Kind: runner.Whisper, Workload: workload,
+		Scheme: s, EWMicros: ew, Seed: o.Seed, Ops: o.Ops,
+	}
+}
+
+func specCell(exp, label, kernel string, s Scheme, ew float64, threads int, o ExpOpts) runner.Cell {
+	return runner.Cell{
+		Exp: exp, Label: label, Kind: runner.Spec, Workload: kernel,
+		Scheme: s, EWMicros: ew, Seed: o.Seed, Scale: o.Scale, Threads: threads,
+	}
 }
 
 // --- Table III --------------------------------------------------------------
@@ -52,7 +94,7 @@ func (o ExpOpts) cfg(s Scheme, ew float64) params.Config {
 // workload under MM and TT at the 40 us EW / 2 us TEW targets.
 type WhisperRow struct {
 	// Prog is the workload name.
-	Prog string
+	Prog string `json:"prog"`
 	// MMEWAvg, MMEWMax, MMER are MERR's exposure figures (us, us, frac).
 	MMEWAvg, MMEWMax, MMER float64
 	// Silent is TT's share of conditional ops lowered to thread
@@ -66,22 +108,25 @@ type WhisperRow struct {
 	CondFreq float64
 }
 
-// Table3 reproduces Table III: WHISPER exposure under MM vs TT.
-func Table3(o ExpOpts) ([]WhisperRow, error) {
-	o = o.withDefaults()
-	var rows []WhisperRow
+// table3Cells enumerates each workload under MM then TT.
+func table3Cells(exp string, o ExpOpts) []runner.Cell {
+	var cells []runner.Cell
 	for _, mk := range whisper.All() {
 		name := mk().Name()
-		mm, err := whisper.Run(o.cfg(MM, 40), mk, whisper.RunOpts{Ops: o.Ops})
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s MM: %w", name, err)
-		}
-		tt, err := whisper.Run(o.cfg(TT, 40), mk, whisper.RunOpts{Ops: o.Ops})
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s TT: %w", name, err)
-		}
+		cells = append(cells,
+			whisperCell(exp, "MM(40us)", name, MM, 40, o),
+			whisperCell(exp, "TT(40us)", name, TT, 40, o))
+	}
+	return cells
+}
+
+// table3Rows folds (MM, TT) cell pairs into rows.
+func table3Rows(res []runner.CellResult) []WhisperRow {
+	var rows []WhisperRow
+	for i := 0; i+1 < len(res); i += 2 {
+		mm, tt := res[i].Result, res[i+1].Result
 		rows = append(rows, WhisperRow{
-			Prog:     name,
+			Prog:     res[i].Cell.Workload,
 			MMEWAvg:  params.ToMicros(uint64(mm.Exposure.AvgEW)),
 			MMEWMax:  params.ToMicros(uint64(mm.Exposure.MaxEW)),
 			MMER:     mm.Exposure.ER,
@@ -94,7 +139,21 @@ func Table3(o ExpOpts) ([]WhisperRow, error) {
 			CondFreq: tt.CondFreqPerSec(),
 		})
 	}
-	return rows, nil
+	return rows
+}
+
+func assembleTable3(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	g.Whisper = table3Rows(res)
+	return nil
+}
+
+// Table3 reproduces Table III: WHISPER exposure under MM vs TT.
+func Table3(o ExpOpts) ([]WhisperRow, error) {
+	g, err := Run(ExperimentSpec{Name: "table3", Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	return g.Whisper, nil
 }
 
 // FormatTable3 renders Table III.
@@ -132,9 +191,9 @@ func FormatTable3(rows []WhisperRow) string {
 // OverheadBar is one stacked bar of an overhead figure.
 type OverheadBar struct {
 	// Prog is the workload or kernel name.
-	Prog string
+	Prog string `json:"prog"`
 	// Label names the configuration (e.g. "MM(40us)" or "TT(80us)").
-	Label string
+	Label string `json:"label"`
 	// Total is the relative execution-time overhead vs unprotected.
 	Total float64
 	// Attach, Detach, Rand, Cond, Other are the stacked components as
@@ -159,144 +218,81 @@ func bar(prog, label string, prot, base core.Result) OverheadBar {
 	return out
 }
 
-// whisperConfigs are the Figure 9 configurations.
-func figure9Configs(o ExpOpts) []struct {
-	label string
-	cfg   params.Config
-} {
-	return []struct {
-		label string
-		cfg   params.Config
-	}{
-		{"MM(40us)", o.cfg(MM, 40)},
-		{"TM(40us)", o.cfg(TM, 40)},
-		{"TT(40us)", o.cfg(TT, 40)},
-		{"TT(80us)", o.cfg(TT, 80)},
-		{"TT(160us)", o.cfg(TT, 160)},
+// figure9Cells enumerates each workload's unprotected baseline followed
+// by the five protected configurations.
+func figure9Cells(o ExpOpts) []runner.Cell {
+	var cells []runner.Cell
+	for _, mk := range whisper.All() {
+		name := mk().Name()
+		cells = append(cells, whisperCell("fig9", "base", name, Unprotected, 40, o))
+		for _, c := range overheadConfigs {
+			cells = append(cells, whisperCell("fig9", c.label, name, c.scheme, c.ew, o))
+		}
 	}
+	return cells
+}
+
+// specOverheadCells enumerates each kernel's baseline plus configs.
+func specOverheadCells(exp string, threads int, configs []expConfig, o ExpOpts) []runner.Cell {
+	var cells []runner.Cell
+	for _, k := range speckit.Kernels() {
+		cells = append(cells, specCell(exp, "base", k.Name, Unprotected, 40, threads, o))
+		for _, c := range configs {
+			cells = append(cells, specCell(exp, c.label, k.Name, c.scheme, c.ew, threads, o))
+		}
+	}
+	return cells
+}
+
+func figure10Cells(o ExpOpts) []runner.Cell {
+	return specOverheadCells("fig10", 1, overheadConfigs, o)
+}
+
+func figure11Cells(o ExpOpts) []runner.Cell {
+	return specOverheadCells("fig11", params.Cores, ablationConfigs, o)
+}
+
+// assembleBars folds baseline-then-configs cell groups into stacked bars:
+// each Unprotected cell opens a new group and every following protected
+// cell is measured against it.
+func assembleBars(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	var base core.Result
+	for _, r := range res {
+		if r.Cell.Scheme == Unprotected {
+			base = r.Result
+			continue
+		}
+		g.Bars = append(g.Bars, bar(r.Cell.Workload, r.Cell.Label, r.Result, base))
+	}
+	return nil
 }
 
 // Figure9 reproduces the WHISPER overhead breakdown.
 func Figure9(o ExpOpts) ([]OverheadBar, error) {
-	o = o.withDefaults()
-	var bars []OverheadBar
-	for _, mk := range whisper.All() {
-		name := mk().Name()
-		base, err := whisper.Run(o.cfg(Unprotected, 40), mk, whisper.RunOpts{Ops: o.Ops})
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range figure9Configs(o) {
-			prot, err := whisper.Run(c.cfg, mk, whisper.RunOpts{Ops: o.Ops})
-			if err != nil {
-				return nil, fmt.Errorf("figure9 %s %s: %w", name, c.label, err)
-			}
-			bars = append(bars, bar(name, c.label, prot, base))
-		}
+	g, err := Run(ExperimentSpec{Name: "fig9", Opts: o})
+	if err != nil {
+		return nil, err
 	}
-	return bars, nil
-}
-
-// Table4Row is one Table IV row: SPEC exposure under MM and TT.
-type Table4Row struct {
-	// Prog is the kernel name; PMOs its persistent array count.
-	Prog string
-	PMOs int
-	// Exposure figures as in WhisperRow.
-	MMEWAvg, MMEWMax, MMER float64
-	Silent                 float64
-	TTEWAvg, TTEWMax, TTER float64
-	TEW, TER               float64
-}
-
-// Table4 reproduces Table IV (single-thread, multi-PMO SPEC kernels).
-func Table4(o ExpOpts) ([]Table4Row, error) {
-	o = o.withDefaults()
-	var rows []Table4Row
-	for _, k := range speckit.Kernels() {
-		run := speckit.RunOpts{Threads: 1, Scale: o.Scale}
-		mm, err := speckit.Run(o.cfg(MM, 40), k, run)
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s MM: %w", k.Name, err)
-		}
-		tt, err := speckit.Run(o.cfg(TT, 40), k, run)
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s TT: %w", k.Name, err)
-		}
-		rows = append(rows, Table4Row{
-			Prog: k.Name, PMOs: k.PMOs,
-			MMEWAvg: params.ToMicros(uint64(mm.Exposure.AvgEW)),
-			MMEWMax: params.ToMicros(uint64(mm.Exposure.MaxEW)),
-			MMER:    mm.Exposure.ER,
-			Silent:  tt.Counts.SilentPercent(),
-			TTEWAvg: params.ToMicros(uint64(tt.Exposure.AvgEW)),
-			TTEWMax: params.ToMicros(uint64(tt.Exposure.MaxEW)),
-			TTER:    tt.Exposure.ER,
-			TEW:     params.ToMicros(uint64(tt.Exposure.AvgTEW)),
-			TER:     tt.Exposure.TER,
-		})
-	}
-	return rows, nil
-}
-
-// FormatTable4 renders Table IV.
-func FormatTable4(rows []Table4Row) string {
-	t := stats.NewTable("Prog", "#PMOs", "MM EW avg/max(us)", "MM ER%",
-		"Silent%", "TT EW avg/max(us)", "TT ER%", "TEW(us)", "TER%")
-	for _, r := range rows {
-		t.AddRow(r.Prog, r.PMOs,
-			fmt.Sprintf("%.1f/%.1f", r.MMEWAvg, r.MMEWMax), 100*r.MMER,
-			r.Silent,
-			fmt.Sprintf("%.1f/%.1f", r.TTEWAvg, r.TTEWMax), 100*r.TTER,
-			fmt.Sprintf("%.2f", r.TEW), 100*r.TER)
-	}
-	return "Table IV: SPEC results on 40us EW (single thread, multi-PMO)\n" + t.String()
+	return g.Bars, nil
 }
 
 // Figure10 reproduces the single-thread SPEC overhead breakdown.
 func Figure10(o ExpOpts) ([]OverheadBar, error) {
-	return specOverheads(o, 1, figure9Configs(o.withDefaults()))
+	g, err := Run(ExperimentSpec{Name: "fig10", Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	return g.Bars, nil
 }
 
 // Figure11 reproduces the 4-thread ablation: Basic semantics, +Cond, and
 // the full design (+CB) at 40/80/160 us EWs.
 func Figure11(o ExpOpts) ([]OverheadBar, error) {
-	o = o.withDefaults()
-	cfgs := []struct {
-		label string
-		cfg   params.Config
-	}{
-		{"Basic(40us)", o.cfg(BasicSem, 40)},
-		{"+Cond(40us)", o.cfg(PlusCond, 40)},
-		{"+CB(40us)", o.cfg(PlusCB, 40)},
-		{"TT(80us)", o.cfg(TT, 80)},
-		{"TT(160us)", o.cfg(TT, 160)},
+	g, err := Run(ExperimentSpec{Name: "fig11", Opts: o})
+	if err != nil {
+		return nil, err
 	}
-	return specOverheads(o, params.Cores, cfgs)
-}
-
-func specOverheads(o ExpOpts, threads int, cfgs []struct {
-	label string
-	cfg   params.Config
-}) ([]OverheadBar, error) {
-	o = o.withDefaults()
-	var bars []OverheadBar
-	for _, k := range speckit.Kernels() {
-		run := speckit.RunOpts{Threads: threads, Scale: o.Scale}
-		baseCfg := o.cfg(Unprotected, 40)
-		base, err := speckit.Run(baseCfg, k, run)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range cfgs {
-			prot, err := speckit.Run(c.cfg, k, run)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", k.Name, c.label, err)
-			}
-			bars = append(bars, bar(k.Name, c.label, prot, base))
-		}
-	}
-	return bars, nil
+	return g.Bars, nil
 }
 
 // FormatOverheads renders an overhead figure as grouped ASCII bars.
@@ -325,6 +321,84 @@ func FormatOverheads(title string, bars []OverheadBar) string {
 	return b.String()
 }
 
+// --- Table IV ---------------------------------------------------------------
+
+// Table4Row is one Table IV row: SPEC exposure under MM and TT.
+type Table4Row struct {
+	// Prog is the kernel name; PMOs its persistent array count.
+	Prog string `json:"prog"`
+	PMOs int
+	// Exposure figures as in WhisperRow.
+	MMEWAvg, MMEWMax, MMER float64
+	Silent                 float64
+	TTEWAvg, TTEWMax, TTER float64
+	TEW, TER               float64
+}
+
+// table4Cells enumerates each kernel under MM then TT (single thread).
+func table4Cells(exp string, o ExpOpts) []runner.Cell {
+	var cells []runner.Cell
+	for _, k := range speckit.Kernels() {
+		cells = append(cells,
+			specCell(exp, "MM(40us)", k.Name, MM, 40, 1, o),
+			specCell(exp, "TT(40us)", k.Name, TT, 40, 1, o))
+	}
+	return cells
+}
+
+// table4Rows folds (MM, TT) cell pairs into rows.
+func table4Rows(res []runner.CellResult) []Table4Row {
+	pmos := map[string]int{}
+	for _, k := range speckit.Kernels() {
+		pmos[k.Name] = k.PMOs
+	}
+	var rows []Table4Row
+	for i := 0; i+1 < len(res); i += 2 {
+		mm, tt := res[i].Result, res[i+1].Result
+		rows = append(rows, Table4Row{
+			Prog: res[i].Cell.Workload, PMOs: pmos[res[i].Cell.Workload],
+			MMEWAvg: params.ToMicros(uint64(mm.Exposure.AvgEW)),
+			MMEWMax: params.ToMicros(uint64(mm.Exposure.MaxEW)),
+			MMER:    mm.Exposure.ER,
+			Silent:  tt.Counts.SilentPercent(),
+			TTEWAvg: params.ToMicros(uint64(tt.Exposure.AvgEW)),
+			TTEWMax: params.ToMicros(uint64(tt.Exposure.MaxEW)),
+			TTER:    tt.Exposure.ER,
+			TEW:     params.ToMicros(uint64(tt.Exposure.AvgTEW)),
+			TER:     tt.Exposure.TER,
+		})
+	}
+	return rows
+}
+
+func assembleTable4(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	g.Spec = table4Rows(res)
+	return nil
+}
+
+// Table4 reproduces Table IV (single-thread, multi-PMO SPEC kernels).
+func Table4(o ExpOpts) ([]Table4Row, error) {
+	g, err := Run(ExperimentSpec{Name: "table4", Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	return g.Spec, nil
+}
+
+// FormatTable4 renders Table IV.
+func FormatTable4(rows []Table4Row) string {
+	t := stats.NewTable("Prog", "#PMOs", "MM EW avg/max(us)", "MM ER%",
+		"Silent%", "TT EW avg/max(us)", "TT ER%", "TEW(us)", "TER%")
+	for _, r := range rows {
+		t.AddRow(r.Prog, r.PMOs,
+			fmt.Sprintf("%.1f/%.1f", r.MMEWAvg, r.MMEWMax), 100*r.MMER,
+			r.Silent,
+			fmt.Sprintf("%.1f/%.1f", r.TTEWAvg, r.TTEWMax), 100*r.TTER,
+			fmt.Sprintf("%.2f", r.TEW), 100*r.TER)
+	}
+	return "Table IV: SPEC results on 40us EW (single thread, multi-PMO)\n" + t.String()
+}
+
 // --- Table V ----------------------------------------------------------------
 
 // Table5Row is one quantitative-comparison row.
@@ -347,6 +421,11 @@ func Table5(terpAccessFraction float64) []Table5Row {
 		rows = append(rows, Table5Row{AttackMicros: x, MERRPct: m, TERPPct: t})
 	}
 	return rows
+}
+
+func assembleTable5(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	g.Attack = Table5(0)
+	return nil
 }
 
 // FormatTable5 renders Table V.
@@ -373,17 +452,23 @@ type Table6Result struct {
 	SpecCensus attack.GadgetCensus
 }
 
-// Table6 reproduces Table VI by measuring exposure rates of both suites
-// and scanning the instrumented kernels for gadget coverage.
-func Table6(o ExpOpts) (Table6Result, error) {
-	o = o.withDefaults()
+// table6Cells reuses the Table III enumeration (at a quarter of the ops)
+// followed by the Table IV enumeration, exactly as the serial driver
+// composed them.
+func table6Cells(o ExpOpts) []runner.Cell {
+	cells := table3Cells("table6", ExpOpts{Ops: o.Ops / 4, Seed: o.Seed}.withDefaults())
+	return append(cells, table4Cells("table6", ExpOpts{Scale: o.Scale, Seed: o.Seed}.withDefaults())...)
+}
+
+func assembleTable6(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	split := 0
+	for split < len(res) && res[split].Cell.Kind == runner.Whisper {
+		split++
+	}
 	var out Table6Result
 
 	// WHISPER row: average MM ER vs TT TER.
-	wr, err := Table3(ExpOpts{Ops: o.Ops / 4, Seed: o.Seed})
-	if err != nil {
-		return out, err
-	}
+	wr := table3Rows(res[:split])
 	var er, ter float64
 	for _, r := range wr {
 		er += r.MMER
@@ -393,10 +478,7 @@ func Table6(o ExpOpts) (Table6Result, error) {
 	out.Rows = append(out.Rows, attack.BuildScenarioRow("WHISPER", er/n, ter/n))
 
 	// SPEC row.
-	sr, err := Table4(ExpOpts{Scale: o.Scale, Seed: o.Seed})
-	if err != nil {
-		return out, err
-	}
+	sr := table4Rows(res[split:])
 	er, ter = 0, 0
 	for _, r := range sr {
 		er += r.MMER
@@ -406,12 +488,23 @@ func Table6(o ExpOpts) (Table6Result, error) {
 	out.Rows = append(out.Rows, attack.BuildScenarioRow("SPEC", er/n, ter/n))
 
 	// Static census over instrumented kernels.
-	census, err := specGadgetCensus(o)
+	census, err := specGadgetCensus(spec.Opts)
 	if err != nil {
-		return out, err
+		return err
 	}
 	out.SpecCensus = census
-	return out, nil
+	g.Scenarios = &out
+	return nil
+}
+
+// Table6 reproduces Table VI by measuring exposure rates of both suites
+// and scanning the instrumented kernels for gadget coverage.
+func Table6(o ExpOpts) (Table6Result, error) {
+	g, err := Run(ExperimentSpec{Name: "table6", Opts: o})
+	if err != nil {
+		return Table6Result{}, err
+	}
+	return *g.Scenarios, nil
 }
 
 // FormatTable6 renders Table VI, including the full scenario matrix
@@ -434,6 +527,28 @@ func FormatTable6(r Table6Result) string {
 	return s
 }
 
+// specGadgetCensus instruments every SPEC kernel (via the shared program
+// cache, so `-exp all` reuses the Table IV compiles) and scans the result
+// for gadget coverage.
+func specGadgetCensus(o ExpOpts) (attack.GadgetCensus, error) {
+	var total attack.GadgetCensus
+	opt := terpc.Options{
+		EWThreshold:  params.Micros(params.DefaultEWMicros),
+		TEWThreshold: params.Micros(params.DefaultTEWMicros),
+	}
+	for _, k := range speckit.Kernels() {
+		prog, err := runner.DefaultCache.Program(k, o.Scale, true, opt)
+		if err != nil {
+			return total, err
+		}
+		c := attack.ScanProgram(prog)
+		total.Total += c.Total
+		total.Covered += c.Covered
+		total.Gadgets = append(total.Gadgets, c.Gadgets...)
+	}
+	return total, nil
+}
+
 // --- Figure 8 ---------------------------------------------------------------
 
 // Figure8Result is the dead-time study outcome.
@@ -445,11 +560,22 @@ type Figure8Result struct {
 	AtLeastTEW float64
 }
 
+func assembleFigure8(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	h, frac, err := attack.DeadTimeStudy(spec.Opts.Seed)
+	if err != nil {
+		return err
+	}
+	g.DeadTime = &Figure8Result{Hist: h, AtLeastTEW: frac}
+	return nil
+}
+
 // Figure8 reproduces the dead-time distribution study.
 func Figure8(o ExpOpts) (Figure8Result, error) {
-	o = o.withDefaults()
-	h, frac, err := attack.DeadTimeStudy(o.Seed)
-	return Figure8Result{Hist: h, AtLeastTEW: frac}, err
+	g, err := Run(ExperimentSpec{Name: "fig8", Opts: o})
+	if err != nil {
+		return Figure8Result{}, err
+	}
+	return *g.DeadTime, nil
 }
 
 // FormatFigure8 renders the distribution.
@@ -464,29 +590,6 @@ func FormatFigure8(r Figure8Result) string {
 	fmt.Fprintf(&b, "P(dead time >= 2us) = %.1f%% -> a 2us TEW removes %.1f%% of the surface\n",
 		100*r.AtLeastTEW, 100*r.AtLeastTEW)
 	return b.String()
-}
-
-// specGadgetCensus compiles and instruments every SPEC kernel and scans
-// the result for gadget coverage.
-func specGadgetCensus(o ExpOpts) (attack.GadgetCensus, error) {
-	var total attack.GadgetCensus
-	for _, k := range speckit.Kernels() {
-		prog, err := lang.Compile(k.Source(o.Scale))
-		if err != nil {
-			return total, err
-		}
-		if _, err := terpc.Insert(prog, terpc.Options{
-			EWThreshold:  params.Micros(params.DefaultEWMicros),
-			TEWThreshold: params.Micros(params.DefaultTEWMicros),
-		}); err != nil {
-			return total, err
-		}
-		c := attack.ScanProgram(prog)
-		total.Total += c.Total
-		total.Covered += c.Covered
-		total.Gadgets = append(total.Gadgets, c.Gadgets...)
-	}
-	return total, nil
 }
 
 // --- Semantics-space exploration (Section IV) --------------------------------
@@ -512,6 +615,12 @@ func SemanticsStudy() SemanticsStudyResult {
 		out.Parallel = append(out.Parallel, semantics.RunStudy(p, par))
 	}
 	return out
+}
+
+func assembleSemantics(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	r := SemanticsStudy()
+	g.Semantics = &r
+	return nil
 }
 
 // FormatSemanticsStudy renders the exploration as two tables.
@@ -559,39 +668,56 @@ type EWSweepRow struct {
 	MERRSuccPct, TERPSuccPct float64
 }
 
-// EWSweep measures the security/performance frontier across EW targets,
-// extending the paper's 40/80/160 us evaluation with the analytic attack
-// model at each point. The TERP probability uses each run's measured
-// thread exposure rate rather than the paper's fixed 3.4%.
-func EWSweep(o ExpOpts, ewMicros []float64) ([]EWSweepRow, error) {
-	o = o.withDefaults()
-	if len(ewMicros) == 0 {
-		ewMicros = []float64{40, 80, 160, 320}
-	}
-	var rows []EWSweepRow
-	for _, ew := range ewMicros {
-		var ovSum, terSum float64
-		n := 0
+// ewSweepCells enumerates (baseline, TT) pairs per workload at each
+// sweep point.
+func ewSweepCells(o ExpOpts, ews []float64) []runner.Cell {
+	var cells []runner.Cell
+	for _, ew := range ews {
 		for _, mk := range whisper.All() {
-			ov, prot, _, err := whisper.Overhead(o.cfg(TT, ew), mk, whisper.RunOpts{Ops: o.Ops})
-			if err != nil {
-				return nil, fmt.Errorf("ewsweep %.0fus: %w", ew, err)
-			}
-			ovSum += ov
+			name := mk().Name()
+			cells = append(cells,
+				whisperCell("ewsweep", "base", name, Unprotected, ew, o),
+				whisperCell("ewsweep", fmt.Sprintf("TT(%.0fus)", ew), name, TT, ew, o))
+		}
+	}
+	return cells
+}
+
+func assembleEWSweep(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	ews := spec.sweepPoints()
+	n := len(whisper.All())
+	per := 2 * n
+	for i, ew := range ews {
+		grp := res[i*per : (i+1)*per]
+		var ovSum, terSum float64
+		for j := 0; j+1 < len(grp); j += 2 {
+			base, prot := grp[j].Result, grp[j+1].Result
+			ovSum += float64(prot.Cycles)/float64(base.Cycles) - 1
 			terSum += prot.Exposure.TER
-			n++
 		}
 		merr := attack.ProbeModel{PMOBytes: 1 << 30, EWMicros: ew, AttackMicros: 1, AccessFraction: 1}
 		terp := merr
 		terp.AccessFraction = terSum / float64(n)
-		rows = append(rows, EWSweepRow{
+		g.Frontier = append(g.Frontier, EWSweepRow{
 			EWMicros:    ew,
 			OverheadPct: 100 * ovSum / float64(n),
 			MERRSuccPct: merr.SuccessPercent(),
 			TERPSuccPct: terp.SuccessPercent(),
 		})
 	}
-	return rows, nil
+	return nil
+}
+
+// EWSweep measures the security/performance frontier across EW targets,
+// extending the paper's 40/80/160 us evaluation with the analytic attack
+// model at each point. The TERP probability uses each run's measured
+// thread exposure rate rather than the paper's fixed 3.4%.
+func EWSweep(o ExpOpts, ewMicros []float64) ([]EWSweepRow, error) {
+	g, err := Run(ExperimentSpec{Name: "ewsweep", Opts: o, EWMicros: ewMicros})
+	if err != nil {
+		return nil, err
+	}
+	return g.Frontier, nil
 }
 
 // FormatEWSweep renders the frontier.

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ir"
 )
@@ -50,8 +51,13 @@ func (c GadgetCensus) CoveredFraction() float64 {
 // The walk tracks attach state along paths exactly like terpc.Verify.
 func ScanProgram(p *ir.Program) GadgetCensus {
 	var census GadgetCensus
-	for name, f := range p.Funcs {
-		scanFunc(name, f, &census)
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		scanFunc(name, p.Funcs[name], &census)
 	}
 	return census
 }

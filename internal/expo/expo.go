@@ -8,7 +8,10 @@
 // the location learned by an attacker becomes useless (Theorem 6).
 package expo
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Series accumulates window lengths without storing each one.
 type Series struct {
@@ -158,12 +161,15 @@ func (s Stats) String() string {
 // Collect computes the exposure summary for a run of the given total
 // duration in cycles. Call Finish first. Per the paper, EW/ER values are
 // averaged over all PMOs, and ER/TER divide exposed time by total time.
+// PMOs are accumulated in id order so the float sums are reproducible
+// bit for bit across runs (map iteration order is not).
 func (t *Tracker) Collect(total uint64) Stats {
 	var st Stats
 	if total == 0 {
 		return st
 	}
-	for _, s := range t.ews {
+	for _, pmo := range sortedKeys(t.ews) {
+		s := t.ews[pmo]
 		st.PMOs++
 		st.AvgEW += s.Avg()
 		if float64(s.Max) > st.MaxEW {
@@ -177,7 +183,8 @@ func (t *Tracker) Collect(total uint64) Stats {
 		st.ER /= float64(st.PMOs)
 	}
 	n := 0
-	for _, s := range t.tews {
+	for _, pmo := range sortedKeys(t.tews) {
+		s := t.tews[pmo]
 		n++
 		st.AvgTEW += s.Avg()
 		if float64(s.Max) > st.MaxTEW {
@@ -191,6 +198,15 @@ func (t *Tracker) Collect(total uint64) Stats {
 		st.TER /= float64(n)
 	}
 	return st
+}
+
+func sortedKeys(m map[uint32]*Series) []uint32 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // PMOStats returns the per-PMO exposure summary for a run of the given

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/speckit"
+	"repro/internal/terpc"
+)
+
+// progKey identifies one compiled kernel program: the kernel and scale
+// pick the TPL source, insert says whether the insertion pass ran, and
+// the terpc cost model (thresholds + per-instruction estimates) pins the
+// instrumentation. Two schemes with the same cost model (e.g. TT and the
+// +CB ablation, or the same kernel at different thread counts) share one
+// entry.
+type progKey struct {
+	kernel string
+	scale  int
+	insert bool
+	opt    terpc.Options
+}
+
+// ProgCache memoizes the TPL lex/parse/lower + insertion pipeline. A
+// compiled program is read-only to the interpreter, so one entry may back
+// any number of concurrent cells. Compilation of distinct keys proceeds
+// in parallel; duplicate requests for one key block on a single compile.
+type ProgCache struct {
+	mu      sync.Mutex
+	entries map[progKey]*progEntry
+
+	hits, misses atomic.Int64
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *ir.Program
+	err  error
+}
+
+// DefaultCache is the shared process-wide cache used when Options.Cache
+// is nil, so repeated experiments (and `-exp all`) reuse compiles across
+// Execute calls.
+var DefaultCache = NewProgCache()
+
+// NewProgCache returns an empty cache.
+func NewProgCache() *ProgCache {
+	return &ProgCache{entries: make(map[progKey]*progEntry)}
+}
+
+// Program returns the compiled (and, when insert is true, instrumented)
+// program for the kernel, compiling at most once per key.
+func (c *ProgCache) Program(k speckit.Kernel, scale int, insert bool, opt terpc.Options) (*ir.Program, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	key := progKey{kernel: k.Name, scale: scale, insert: insert, opt: opt}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &progEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.prog, e.err = speckit.Build(k, scale, insert, opt) })
+	return e.prog, e.err
+}
+
+// Stats reports cache hits and misses (a "hit" may still briefly block
+// on the first compile of its key).
+func (c *ProgCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

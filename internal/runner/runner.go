@@ -1,0 +1,214 @@
+// Package runner is the parallel experiment engine behind the public
+// experiment API. Every table and figure of the evaluation decomposes
+// into independent cells — one (workload, scheme, EW/TEW target, seed,
+// scale) simulation each — and the engine executes a cell list across a
+// pool of OS workers while keeping the result order identical to the
+// enumeration order, so a parallel run is bit-identical to a serial one.
+//
+// Each cell builds its own simulated machine, NVM device and runtime, so
+// cells share no mutable state; the only cross-cell structure is the
+// compiled-program cache (see ProgCache), which memoizes the TPL
+// compile + insertion pipeline per (kernel, scale, cost model) and hands
+// out read-only IR programs.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/params"
+	"repro/internal/speckit"
+	"repro/internal/whisper"
+)
+
+// Kind selects the driver a cell runs under.
+type Kind int
+
+const (
+	// Whisper runs one WHISPER workload (single-thread driver).
+	Whisper Kind = iota
+	// Spec runs one SPEC-style kernel through the compiler pipeline.
+	Spec
+)
+
+// String names the kind for progress labels.
+func (k Kind) String() string {
+	switch k {
+	case Whisper:
+		return "whisper"
+	case Spec:
+		return "spec"
+	default:
+		return "unknown"
+	}
+}
+
+// Cell is one self-contained experiment unit: everything needed to build
+// a fresh simulated system and measure one (workload, scheme, target)
+// point. Cells are plain data so they can be enumerated up front, hashed
+// into progress displays, and executed on any worker.
+type Cell struct {
+	// Exp is the owning experiment (e.g. "table3"); Label is an optional
+	// display name for the configuration (e.g. "TT(80us)").
+	Exp, Label string
+	// Kind selects the driver.
+	Kind Kind
+	// Workload is the WHISPER workload or SPEC kernel name.
+	Workload string
+	// Scheme is the protection scheme.
+	Scheme params.Scheme
+	// EWMicros is the exposure-window target in microseconds.
+	EWMicros float64
+	// TEWMicros overrides the thread exposure window target when > 0;
+	// zero keeps the scheme default (2 us for TERP schemes, none for MM).
+	TEWMicros float64
+	// Seed seeds the cell's deterministic randomness.
+	Seed int64
+	// Ops is the WHISPER operation count (Whisper cells).
+	Ops int
+	// Scale and Threads size the kernel and its worker count (Spec cells).
+	Scale, Threads int
+}
+
+// Config builds the cell's protection configuration.
+func (c Cell) Config() params.Config {
+	cfg := params.NewConfig(c.Scheme, c.EWMicros)
+	cfg.Seed = c.Seed
+	if c.TEWMicros > 0 && cfg.TEWTarget != 0 {
+		cfg.TEWTarget = params.Micros(c.TEWMicros)
+	}
+	return cfg
+}
+
+// Name renders a stable human-readable cell identifier for progress
+// output and error messages.
+func (c Cell) Name() string {
+	label := c.Label
+	if label == "" {
+		label = fmt.Sprintf("%v(%.0fus)", c.Scheme, c.EWMicros)
+	}
+	return fmt.Sprintf("%s/%s/%s", c.Exp, c.Workload, label)
+}
+
+// CellResult pairs a cell with its measurements.
+type CellResult struct {
+	// Cell is the spec that ran.
+	Cell Cell
+	// Result is the finished run's measurements (zero on error).
+	Result core.Result
+	// Err is the cell's failure, if any.
+	Err error
+}
+
+// Progress is called after each cell completes. done counts finished
+// cells, total is the cell count, and last is the cell that just
+// finished. Calls are serialized by the engine but arrive in completion
+// order, which under parallelism is not the enumeration order.
+type Progress func(done, total int, last Cell)
+
+// Options configures an Execute call.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Progress, when set, receives live completion events.
+	Progress Progress
+	// Cache overrides the compiled-program cache; nil uses the shared
+	// process-wide DefaultCache.
+	Cache *ProgCache
+}
+
+// Execute runs every cell across the worker pool and returns the results
+// in enumeration order (results[i] belongs to cells[i], whatever order
+// the workers finished in). The returned error joins every cell error
+// with errors.Join; the per-cell errors also remain in the result slice
+// so callers can attribute failures.
+func Execute(cells []Cell, opt Options) ([]CellResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+
+	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results, nil
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := RunCell(cells[i], cache)
+				results[i] = CellResult{Cell: cells[i], Result: res, Err: err}
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, len(cells), cells[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("runner %s: %w", r.Cell.Name(), r.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// RunCell executes one cell on the calling goroutine. The cache supplies
+// compiled kernel programs for Spec cells; nil uses DefaultCache.
+func RunCell(c Cell, cache *ProgCache) (core.Result, error) {
+	if cache == nil {
+		cache = DefaultCache
+	}
+	cfg := c.Config()
+	switch c.Kind {
+	case Whisper:
+		mk, err := whisper.ByName(c.Workload)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops})
+	case Spec:
+		k, err := speckit.ByName(c.Workload)
+		if err != nil {
+			return core.Result{}, err
+		}
+		opt, insert := speckit.InsertOptions(cfg)
+		prog, err := cache.Program(k, c.Scale, insert, opt)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return speckit.RunProgram(cfg, k, prog, speckit.RunOpts{
+			Threads: c.Threads,
+			Scale:   c.Scale,
+		})
+	default:
+		return core.Result{}, fmt.Errorf("runner: unknown cell kind %d", c.Kind)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/nvm"
 	"repro/internal/paging"
@@ -43,37 +44,62 @@ func (o RunOpts) withDefaults() RunOpts {
 	return o
 }
 
-// Run compiles the kernel, applies the configuration's insertion strategy
-// (MERR-style single-level insertion for MM, TEW-granularity conditional
-// insertion for the TERP schemes, none for the unprotected baseline), and
-// executes it on a fresh simulated machine.
-func Run(cfg params.Config, k Kernel, opts RunOpts) (core.Result, error) {
-	opts = opts.withDefaults()
-	prog, err := lang.Compile(k.Source(opts.Scale))
-	if err != nil {
-		return core.Result{}, fmt.Errorf("speckit %s: %w", k.Name, err)
-	}
+// InsertOptions returns the insertion pass options the configuration's
+// scheme implies (MERR-style single-level insertion for MM, TEW-granularity
+// conditional insertion for the TERP schemes) and whether the insertion
+// pass runs at all (it does not for the unprotected baseline).
+func InsertOptions(cfg params.Config) (terpc.Options, bool) {
 	switch cfg.Scheme {
 	case params.Unprotected:
-		// No insertion; PMOs are pre-attached below.
+		return terpc.Options{}, false
 	case params.MM:
-		o := terpc.Options{EWThreshold: cfg.EWTarget}
-		if opts.InsertOverride != nil {
-			o = *opts.InsertOverride
-		}
-		if _, err := terpc.Insert(prog, o); err != nil {
-			return core.Result{}, fmt.Errorf("speckit %s MM insertion: %w", k.Name, err)
-		}
+		return terpc.Options{EWThreshold: cfg.EWTarget}, true
 	default:
-		o := terpc.Options{EWThreshold: cfg.EWTarget, TEWThreshold: cfg.TEWTarget}
-		if opts.InsertOverride != nil {
-			o = *opts.InsertOverride
-		}
-		if _, err := terpc.Insert(prog, o); err != nil {
-			return core.Result{}, fmt.Errorf("speckit %s TERP insertion: %w", k.Name, err)
+		return terpc.Options{EWThreshold: cfg.EWTarget, TEWThreshold: cfg.TEWTarget}, true
+	}
+}
+
+// Build compiles the kernel at the given scale and, when insert is true,
+// runs the attach/detach insertion pass over it. The returned program is
+// read-only to the interpreter, so one Build result may back any number
+// of concurrent RunProgram calls (the runner's program cache relies on
+// this).
+func Build(k Kernel, scale int, insert bool, opt terpc.Options) (*ir.Program, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	prog, err := lang.Compile(k.Source(scale))
+	if err != nil {
+		return nil, fmt.Errorf("speckit %s: %w", k.Name, err)
+	}
+	if insert {
+		if _, err := terpc.Insert(prog, opt); err != nil {
+			return nil, fmt.Errorf("speckit %s insertion: %w", k.Name, err)
 		}
 	}
+	return prog, nil
+}
 
+// Run compiles the kernel, applies the configuration's insertion strategy,
+// and executes it on a fresh simulated machine.
+func Run(cfg params.Config, k Kernel, opts RunOpts) (core.Result, error) {
+	opts = opts.withDefaults()
+	o, insert := InsertOptions(cfg)
+	if opts.InsertOverride != nil {
+		o = *opts.InsertOverride
+	}
+	prog, err := Build(k, opts.Scale, insert, o)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return RunProgram(cfg, k, prog, opts)
+}
+
+// RunProgram executes an already compiled (and, scheme permitting,
+// instrumented) kernel program on a fresh simulated machine. The program
+// is not mutated, so callers may share one program across concurrent runs.
+func RunProgram(cfg params.Config, k Kernel, prog *ir.Program, opts RunOpts) (core.Result, error) {
+	opts = opts.withDefaults()
 	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, opts.DeviceSize))
 	rt := core.NewRuntime(cfg, mgr)
 	if opts.OnRuntime != nil {

@@ -1,0 +1,209 @@
+package terp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+// ExperimentSpec selects and scales one experiment for Run. The zero
+// Opts reproduce the paper's settings; Parallel <= 0 uses every core.
+type ExperimentSpec struct {
+	// Name is the experiment: one of Experiments().
+	Name string
+	// Opts scales the runs (ops, kernel scale, seed).
+	Opts ExpOpts
+	// Parallel is the worker-pool size for the experiment's cells:
+	// 1 forces a serial run, 0 (or negative) uses GOMAXPROCS. Results
+	// are bit-identical at every worker count.
+	Parallel int
+	// EWMicros lists the sweep points for the "ewsweep" experiment;
+	// nil selects the default 40/80/160/320 us. Other experiments
+	// ignore it.
+	EWMicros []float64
+	// Progress, when set, receives live cell-completion events: done
+	// cells out of total, plus the finished cell's display name.
+	Progress func(done, total int, cell string)
+}
+
+// Grid is one experiment's structured results. Exactly one payload field
+// is populated, named after the shape of the experiment's data; the JSON
+// encoding omits the rest, so a Grid marshals to a compact, stable
+// document for the bench trajectory. Two runs with the same spec marshal
+// to identical bytes regardless of worker count.
+type Grid struct {
+	// Name is the experiment that ran; Opts the effective options.
+	Name string  `json:"name"`
+	Opts ExpOpts `json:"opts"`
+
+	// Whisper holds Table III rows.
+	Whisper []WhisperRow `json:"whisper,omitempty"`
+	// Spec holds Table IV rows.
+	Spec []Table4Row `json:"spec,omitempty"`
+	// Bars holds the stacked overhead bars of Figures 9-11.
+	Bars []OverheadBar `json:"bars,omitempty"`
+	// Attack holds Table V rows.
+	Attack []Table5Row `json:"attack,omitempty"`
+	// Scenarios holds the Table VI analysis.
+	Scenarios *Table6Result `json:"scenarios,omitempty"`
+	// DeadTime holds the Figure 8 study.
+	DeadTime *Figure8Result `json:"deadTime,omitempty"`
+	// Semantics holds the Section IV exploration.
+	Semantics *SemanticsStudyResult `json:"semantics,omitempty"`
+	// Frontier holds the EW sweep rows.
+	Frontier []EWSweepRow `json:"frontier,omitempty"`
+}
+
+// JSON renders the grid as indented JSON.
+func (g *Grid) JSON() ([]byte, error) { return json.MarshalIndent(g, "", "  ") }
+
+// Format renders the grid in the experiment's table or figure layout.
+func (g *Grid) Format() string {
+	e, ok := findExperiment(g.Name)
+	if !ok {
+		return fmt.Sprintf("unknown experiment %q", g.Name)
+	}
+	return e.format(g)
+}
+
+// experiment wires one name to its cell enumeration, result assembly and
+// text rendering. Experiments that are pure analysis (no simulation
+// cells) leave cells nil.
+type experiment struct {
+	name     string
+	cells    func(spec ExperimentSpec) []runner.Cell
+	assemble func(spec ExperimentSpec, res []runner.CellResult, g *Grid) error
+	format   func(g *Grid) string
+}
+
+// experimentTable lists every experiment in the order `-exp all` runs
+// them.
+var experimentTable = []experiment{
+	{
+		name:     "fig8",
+		assemble: assembleFigure8,
+		format:   func(g *Grid) string { return FormatFigure8(*g.DeadTime) },
+	},
+	{
+		name:     "table3",
+		cells:    func(s ExperimentSpec) []runner.Cell { return table3Cells("table3", s.Opts) },
+		assemble: assembleTable3,
+		format:   func(g *Grid) string { return FormatTable3(g.Whisper) },
+	},
+	{
+		name:     "fig9",
+		cells:    func(s ExperimentSpec) []runner.Cell { return figure9Cells(s.Opts) },
+		assemble: assembleBars,
+		format: func(g *Grid) string {
+			return FormatOverheads("Figure 9: WHISPER execution-time overheads", g.Bars)
+		},
+	},
+	{
+		name:     "table4",
+		cells:    func(s ExperimentSpec) []runner.Cell { return table4Cells("table4", s.Opts) },
+		assemble: assembleTable4,
+		format:   func(g *Grid) string { return FormatTable4(g.Spec) },
+	},
+	{
+		name:     "fig10",
+		cells:    func(s ExperimentSpec) []runner.Cell { return figure10Cells(s.Opts) },
+		assemble: assembleBars,
+		format: func(g *Grid) string {
+			return FormatOverheads("Figure 10: SPEC single-thread overheads", g.Bars)
+		},
+	},
+	{
+		name:     "fig11",
+		cells:    func(s ExperimentSpec) []runner.Cell { return figure11Cells(s.Opts) },
+		assemble: assembleBars,
+		format: func(g *Grid) string {
+			return FormatOverheads("Figure 11: SPEC 4-thread ablation", g.Bars)
+		},
+	},
+	{
+		name:     "table5",
+		assemble: assembleTable5,
+		format:   func(g *Grid) string { return FormatTable5(g.Attack) },
+	},
+	{
+		name:     "semantics",
+		assemble: assembleSemantics,
+		format:   func(g *Grid) string { return FormatSemanticsStudy(*g.Semantics) },
+	},
+	{
+		name:     "ewsweep",
+		cells:    func(s ExperimentSpec) []runner.Cell { return ewSweepCells(s.Opts, s.sweepPoints()) },
+		assemble: assembleEWSweep,
+		format:   func(g *Grid) string { return FormatEWSweep(g.Frontier) },
+	},
+	{
+		name:     "table6",
+		cells:    func(s ExperimentSpec) []runner.Cell { return table6Cells(s.Opts) },
+		assemble: assembleTable6,
+		format:   func(g *Grid) string { return FormatTable6(*g.Scenarios) },
+	},
+}
+
+// sweepPoints resolves the ewsweep sweep list.
+func (s ExperimentSpec) sweepPoints() []float64 {
+	if len(s.EWMicros) != 0 {
+		return s.EWMicros
+	}
+	return []float64{40, 80, 160, 320}
+}
+
+func findExperiment(name string) (experiment, bool) {
+	for _, e := range experimentTable {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+// Experiments returns every experiment name in `-exp all` order.
+func Experiments() []string {
+	names := make([]string, len(experimentTable))
+	for i, e := range experimentTable {
+		names[i] = e.name
+	}
+	return names
+}
+
+// Run executes one experiment: it enumerates the experiment's cells,
+// executes them across the worker pool (see ExperimentSpec.Parallel) and
+// assembles the structured Grid. The per-experiment helpers (Table3,
+// Figure9, ...) are thin wrappers over Run.
+func Run(spec ExperimentSpec) (*Grid, error) {
+	e, ok := findExperiment(spec.Name)
+	if !ok {
+		return nil, fmt.Errorf("terp: unknown experiment %q (valid: %s)",
+			spec.Name, strings.Join(Experiments(), ", "))
+	}
+	spec.Opts = spec.Opts.withDefaults()
+
+	var res []runner.CellResult
+	if e.cells != nil {
+		var progress runner.Progress
+		if spec.Progress != nil {
+			p := spec.Progress
+			progress = func(done, total int, last runner.Cell) { p(done, total, last.Name()) }
+		}
+		var err error
+		res, err = runner.Execute(e.cells(spec), runner.Options{
+			Workers:  spec.Parallel,
+			Progress: progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	g := &Grid{Name: e.name, Opts: spec.Opts}
+	if err := e.assemble(spec, res, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,181 @@
+package terp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunParallelGridIsByteIdenticalToSerial is the engine's determinism
+// contract: the structured Grid of a parallel run marshals to exactly
+// the bytes of a serial run, per experiment and per seed.
+func TestRunParallelGridIsByteIdenticalToSerial(t *testing.T) {
+	for _, name := range []string{"table3", "table4"} {
+		for _, seed := range []int64{1, 7} {
+			opts := ExpOpts{Ops: 300, Scale: 1, Seed: seed}
+			serial, err := Run(ExperimentSpec{Name: name, Opts: opts, Parallel: 1})
+			if err != nil {
+				t.Fatalf("%s seed %d serial: %v", name, seed, err)
+			}
+			par, err := Run(ExperimentSpec{Name: name, Opts: opts, Parallel: 4})
+			if err != nil {
+				t.Fatalf("%s seed %d parallel: %v", name, seed, err)
+			}
+			sj, err := serial.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pj, err := par.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sj, pj) {
+				t.Fatalf("%s seed %d: parallel grid differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+					name, seed, sj, pj)
+			}
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	_, err := Run(ExperimentSpec{Name: "table99"})
+	if err == nil || !strings.Contains(err.Error(), "table99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExperimentsListsEveryRegisteredName(t *testing.T) {
+	names := Experiments()
+	want := []string{"fig8", "table3", "fig9", "table4", "fig10", "fig11",
+		"table5", "semantics", "ewsweep", "table6"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestRunProgressCoversEveryCell(t *testing.T) {
+	var mu sync.Mutex
+	var last, total int
+	calls := 0
+	_, err := Run(ExperimentSpec{
+		Name: "table3",
+		Opts: ExpOpts{Ops: 200},
+		Progress: func(done, tot int, cell string) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			last, total = done, tot
+			if cell == "" {
+				t.Error("empty cell label")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table3 = 6 workloads x 2 schemes.
+	if calls != 12 || last != 12 || total != 12 {
+		t.Fatalf("calls/last/total = %d/%d/%d, want 12/12/12", calls, last, total)
+	}
+}
+
+func TestRunGridFormatMatchesWrapperFormat(t *testing.T) {
+	o := ExpOpts{Ops: 200}
+	g, err := Run(ExperimentSpec{Name: "table3", Opts: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Format() != FormatTable3(rows) {
+		t.Fatal("Grid.Format differs from the wrapper's rendering")
+	}
+}
+
+// --- Options.Validate -------------------------------------------------------
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{EWMicros: -1},
+		{EWMicros: nan()},
+		{TEWMicros: -2},
+		{TEWMicros: nan()},
+		{TEWMicros: 80},               // above the 40us EW default
+		{EWMicros: 10, TEWMicros: 20}, // TEW above explicit EW
+		{NVMBytes: 1 << 10},           // undersized device
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad[%d] (%+v): Validate accepted", i, o)
+		}
+		if _, err := NewSystem(o); err == nil {
+			t.Errorf("bad[%d] (%+v): NewSystem accepted", i, o)
+		}
+	}
+	good := []Options{
+		{},
+		{Scheme: MM},
+		{EWMicros: 80, TEWMicros: 4},
+		{NVMBytes: MinNVMBytes},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestParallelQuantumOptionAndJoinedErrors(t *testing.T) {
+	// A custom quantum is honored (the run still completes and advances
+	// time deterministically).
+	sys, err := NewSystem(Options{Scheme: TT, QuantumCycles: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := sys.Create("q", 1<<20)
+	o, _ := p.Alloc(8)
+	end, err := sys.Parallel(2, func(tid int, ctx *core.ThreadCtx) error {
+		if err := ctx.Attach(p, ReadWrite); err != nil {
+			return err
+		}
+		if err := ctx.Store(o, uint64(tid)); err != nil {
+			return err
+		}
+		return ctx.Detach(p)
+	})
+	if err != nil || end == 0 {
+		t.Fatalf("end=%d err=%v", end, err)
+	}
+
+	// Every failing thread is reported, not just the first.
+	sys2, _ := NewSystem(Options{Scheme: TT})
+	_, err = sys2.Parallel(3, func(tid int, ctx *core.ThreadCtx) error {
+		if tid == 0 {
+			return nil
+		}
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "thread 1") || !strings.Contains(msg, "thread 2") {
+		t.Fatalf("joined error lost a thread: %v", msg)
+	}
+}
