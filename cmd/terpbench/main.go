@@ -11,7 +11,13 @@
 // on a worker pool; output is bit-identical at every -parallel value.
 //
 // Experiments: fig8, table3, fig9, table4, fig10, fig11, table5,
-// semantics, ewsweep, table6.
+// semantics, ewsweep, table6, crash.
+//
+// The crash experiment is the crash-consistency matrix: every workload
+// runs over the persist-buffer model while a deterministic injector
+// materializes post-crash images (strict fence crashes plus an
+// adversarial seeded sample that drops flushed-but-unfenced lines) and
+// verifies recovery from each one.
 package main
 
 import (

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/crash"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/semantics"
@@ -730,4 +731,146 @@ func FormatEWSweep(rows []EWSweepRow) string {
 			fmt.Sprintf("%.5f", r.TERPSuccPct))
 	}
 	return "EW frontier: protection cost vs probe-attack success (extension)\n" + t.String()
+}
+
+// --- Crash matrix (extension): fault injection + recovery verification ------
+
+// CrashRow summarizes one fault-injection cell: a workload driven over
+// the persist-buffer model with crashes injected under one enumeration
+// policy, every post-crash image verified through recovery.
+type CrashRow struct {
+	// Prog is the workload; Policy and Adversarial name the injection
+	// configuration.
+	Prog        string `json:"prog"`
+	Policy      string `json:"policy"`
+	Adversarial bool   `json:"adversarial"`
+	// Ops is the instrumented run length; Events and Fences count its
+	// persist events; Candidates is the policy's full enumeration.
+	Ops        int    `json:"ops"`
+	Events     uint64 `json:"events"`
+	Fences     uint64 `json:"fences"`
+	Candidates int    `json:"candidates"`
+	// Points is how many crash images were materialized and verified;
+	// Undone sums the undo records recovery rolled back; Dropped sums
+	// the flushed-but-unfenced lines the adversary discarded.
+	Points  int `json:"points"`
+	Undone  int `json:"undone"`
+	Dropped int `json:"dropped"`
+	// Failures counts images that failed recovery verification (the
+	// experiment's pass criterion is zero).
+	Failures int `json:"failures"`
+}
+
+// crashOps derives the instrumented run length from the experiment op
+// count: every cell replays the workload twice and verifies each point
+// against a fresh device, so full-length runs buy nothing.
+func crashOps(ops int) int {
+	n := ops / 250
+	if n < 120 {
+		n = 120
+	}
+	if n > 1500 {
+		n = 1500
+	}
+	return n
+}
+
+// crashPointsPerCell is the injection budget per cell; with the txnpairs
+// micro-workload plus the six WHISPER workloads under two policies each,
+// the matrix injects up to 7*2*8 = 112 crash points.
+const crashPointsPerCell = 8
+
+// crashCells enumerates the matrix: per workload, a strict-ordering cell
+// crashing at every 23rd fence (spreading points across the run) and an
+// adversarial cell crashing at a seeded-random sample of persist events
+// with flushed-but-unfenced lines dropped from each image.
+func crashCells(exp string, o ExpOpts) []runner.Cell {
+	names := []string{"txnpairs"}
+	for _, mk := range whisper.All() {
+		names = append(names, mk().Name())
+	}
+	ops := crashOps(o.Ops)
+	var cells []runner.Cell
+	for _, name := range names {
+		cells = append(cells,
+			runner.Cell{
+				Exp: exp, Label: "fence/strict", Kind: runner.Crash, Workload: name,
+				Seed: o.Seed, Ops: ops,
+				Policy: string(crash.FencePolicy), Every: 23, PointCount: crashPointsPerCell,
+			},
+			runner.Cell{
+				Exp: exp, Label: "random/adv", Kind: runner.Crash, Workload: name,
+				Seed: o.Seed, Ops: ops,
+				Policy: string(crash.RandomPolicy), PointCount: crashPointsPerCell,
+				Adversarial: true,
+			})
+	}
+	return cells
+}
+
+// crashRows folds one report per cell into rows.
+func crashRows(res []runner.CellResult) []CrashRow {
+	var rows []CrashRow
+	for _, r := range res {
+		rep := r.Crash
+		if rep == nil {
+			continue
+		}
+		row := CrashRow{
+			Prog:        rep.Workload,
+			Policy:      string(rep.Policy),
+			Adversarial: rep.Adversarial,
+			Ops:         rep.Ops,
+			Events:      rep.Events,
+			Fences:      rep.Fences,
+			Candidates:  rep.Candidates,
+			Points:      len(rep.Points),
+			Undone:      rep.Undone,
+			Failures:    rep.Failures,
+		}
+		for _, p := range rep.Points {
+			row.Dropped += p.Dropped
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func assembleCrash(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	g.Crash = crashRows(res)
+	return nil
+}
+
+// Crash runs the crash-consistency matrix (extension): deterministic
+// fault injection over the persist-buffer model with full recovery
+// verification at every point.
+func Crash(o ExpOpts) ([]CrashRow, error) {
+	g, err := Run(ExperimentSpec{Name: "crash", Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	return g.Crash, nil
+}
+
+// FormatCrash renders the matrix.
+func FormatCrash(rows []CrashRow) string {
+	t := stats.NewTable("Prog", "Policy", "Adv", "Ops", "Events", "Fences",
+		"Cand", "Points", "Undone", "Dropped", "Fail")
+	points, failures := 0, 0
+	for _, r := range rows {
+		adv := "-"
+		if r.Adversarial {
+			adv = "yes"
+		}
+		t.AddRow(r.Prog, r.Policy, adv, r.Ops, r.Events, r.Fences,
+			r.Candidates, r.Points, r.Undone, r.Dropped, r.Failures)
+		points += r.Points
+		failures += r.Failures
+	}
+	verdict := "all recovered"
+	if failures > 0 {
+		verdict = fmt.Sprintf("%d FAILED", failures)
+	}
+	return fmt.Sprintf("Crash matrix: %d injected crash points, %s (extension)\n%s",
+		points, verdict, t.String())
 }

@@ -4,7 +4,10 @@
 // can declare the paper's 1 GB PMOs without allocating 1 GB. The NVM
 // device supports snapshot and restore, which the crash-consistency tests
 // use to emulate power failure, and counts reads/writes for the
-// wear-related statistics.
+// wear-related statistics. An optional persist buffer (persist.go) models
+// the volatile store path to persistent media: while enabled, writes only
+// become durable once their cache line is flushed and a fence drains it,
+// and CrashImage materializes the state a power failure would leave.
 package nvm
 
 import (
@@ -40,6 +43,10 @@ type Device struct {
 	kind  Kind
 	size  uint64
 	pages map[uint64][]byte
+
+	// buf, when non-nil, is the volatile persist buffer: writes stay
+	// volatile until flushed and fenced (see EnablePersistBuffer).
+	buf *PersistBuffer
 
 	// Reads and Writes count byte-granularity accesses.
 	Reads, Writes uint64
@@ -86,6 +93,13 @@ func (d *Device) ReadAt(b []byte, off uint64) error {
 		return err
 	}
 	d.Reads += uint64(len(b))
+	d.readRaw(b, off)
+	return nil
+}
+
+// readRaw copies device bytes without touching the access counters (the
+// persist buffer uses it to capture durable line content).
+func (d *Device) readRaw(b []byte, off uint64) {
 	for len(b) > 0 {
 		in := off % pageSize
 		n := pageSize - in
@@ -102,7 +116,6 @@ func (d *Device) ReadAt(b []byte, off uint64) error {
 		b = b[n:]
 		off += n
 	}
-	return nil
 }
 
 // WriteAt copies b into the device starting at offset off.
@@ -111,6 +124,9 @@ func (d *Device) WriteAt(b []byte, off uint64) error {
 		return err
 	}
 	d.Writes += uint64(len(b))
+	if d.buf != nil {
+		d.buf.dirty(off, b)
+	}
 	for len(b) > 0 {
 		in := off % pageSize
 		n := pageSize - in
@@ -146,11 +162,18 @@ func (d *Device) Zero(off uint64, n uint64) error {
 	if err := d.check(off, int(n)); err != nil {
 		return err
 	}
+	var zeros []byte
 	for n > 0 {
 		in := off % pageSize
 		m := pageSize - in
 		if m > n {
 			m = n
+		}
+		if d.buf != nil {
+			if zeros == nil {
+				zeros = make([]byte, pageSize)
+			}
+			d.buf.dirty(off, zeros[:m])
 		}
 		if in == 0 && m == pageSize {
 			delete(d.pages, off/pageSize)
@@ -177,13 +200,18 @@ func (d *Device) Snapshot() map[uint64][]byte {
 	return s
 }
 
-// Restore replaces the device contents with a snapshot.
+// Restore replaces the device contents with a snapshot. It models a
+// power cycle, so an enabled persist buffer empties: the restored bytes
+// are durable and no volatile lines survive.
 func (d *Device) Restore(s map[uint64][]byte) {
 	d.pages = make(map[uint64][]byte, len(s))
 	for pn, p := range s {
 		cp := make([]byte, pageSize)
 		copy(cp, p)
 		d.pages[pn] = cp
+	}
+	if d.buf != nil {
+		d.buf.reset()
 	}
 }
 

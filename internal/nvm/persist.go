@@ -1,0 +1,286 @@
+package nvm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultLineSize is the persistence granularity of the buffer model: one
+// cache line, matching the clwb/clflushopt granularity of real hardware.
+const DefaultLineSize = 64
+
+// EventKind discriminates persist events observed by the buffer.
+type EventKind int
+
+// Persist event kinds.
+const (
+	// FlushEvent is a cache-line writeback request (clwb).
+	FlushEvent EventKind = iota
+	// FenceEvent is a persist barrier (sfence) draining prior flushes.
+	FenceEvent
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == FlushEvent {
+		return "flush"
+	}
+	return "fence"
+}
+
+// Event is one persist operation issued against the device. Index is the
+// event's ordinal in the global flush+fence stream, so a crash injector
+// can name "the k-th persist event of the run" deterministically.
+type Event struct {
+	// Kind is the operation.
+	Kind EventKind
+	// Index is the global event ordinal (flushes and fences share one
+	// counter).
+	Index uint64
+}
+
+// lineState tracks one cache line held in the volatile store buffer.
+type lineState struct {
+	// durable is the line's content as the persistent medium last saw it
+	// (captured before the first buffered write dirtied the line).
+	durable []byte
+	// flushed records that a writeback was issued since the last dirtying
+	// write; the line becomes durable at the next fence.
+	flushed bool
+}
+
+// PersistBuffer is a volatile, line-granular store buffer layered over a
+// Device. While enabled, writes land in the device's pages (the cache
+// view, which loads observe) but are NOT considered durable until a
+// writeback of their line (Flush) drains at an ordering fence (Fence).
+// CrashImage materializes the durable state at any instant: the cache
+// view with every dirty line reverted to its last-durable content, and —
+// under relaxed persist ordering — an adversarial subset of
+// flushed-but-unfenced lines reverted as well.
+//
+// The buffer is a semantic model, not a timing model: flush and fence
+// cycle costs remain the caller's business (internal/txn charges them via
+// its CostSink exactly as before).
+type PersistBuffer struct {
+	dev  *Device
+	line uint64
+
+	pending map[uint64]*lineState // line number -> buffered state
+
+	events  uint64
+	flushes uint64
+	fences  uint64
+	drained uint64
+	hook    func(Event)
+}
+
+// EnablePersistBuffer layers a persist buffer with the given line size
+// (0 selects DefaultLineSize) over the device. Content written before
+// enabling is treated as already durable. The line size must be a power
+// of two no larger than a page.
+func (d *Device) EnablePersistBuffer(lineSize uint64) *PersistBuffer {
+	if lineSize == 0 {
+		lineSize = DefaultLineSize
+	}
+	if lineSize&(lineSize-1) != 0 || lineSize > pageSize {
+		panic(fmt.Sprintf("nvm: persist-buffer line size %d must be a power of two <= %d", lineSize, pageSize))
+	}
+	b := &PersistBuffer{dev: d, line: lineSize, pending: make(map[uint64]*lineState)}
+	d.buf = b
+	return b
+}
+
+// PersistBuffer returns the enabled buffer, or nil when writes are
+// modeled as immediately durable.
+func (d *Device) PersistBuffer() *PersistBuffer { return d.buf }
+
+// Flush issues a writeback for every line overlapping [off, off+n) — a
+// no-op without an enabled buffer.
+func (d *Device) Flush(off, n uint64) {
+	if d.buf != nil && n > 0 {
+		d.buf.flush(off, n)
+	}
+}
+
+// Fence drains all issued writebacks (persist barrier) — a no-op without
+// an enabled buffer.
+func (d *Device) Fence() {
+	if d.buf != nil {
+		d.buf.fence()
+	}
+}
+
+// CrashImage returns the durable contents at this instant (see
+// PersistBuffer.CrashImage). Without a buffer every write is durable and
+// the image equals Snapshot.
+func (d *Device) CrashImage(dropFlushed func(line uint64) bool) map[uint64][]byte {
+	if d.buf == nil {
+		return d.Snapshot()
+	}
+	return d.buf.CrashImage(dropFlushed)
+}
+
+// SetEventHook registers h to observe every persist event. The hook runs
+// at event entry — before a flush marks lines or a fence drains them —
+// so a crash captured from the hook models power failing just before the
+// event takes effect.
+func (b *PersistBuffer) SetEventHook(h func(Event)) { b.hook = h }
+
+// LineSize returns the buffer's persistence granularity.
+func (b *PersistBuffer) LineSize() uint64 { return b.line }
+
+// Events returns the number of persist events (flushes + fences) issued.
+func (b *PersistBuffer) Events() uint64 { return b.events }
+
+// Flushes returns the number of Flush calls.
+func (b *PersistBuffer) Flushes() uint64 { return b.flushes }
+
+// Fences returns the number of Fence calls.
+func (b *PersistBuffer) Fences() uint64 { return b.fences }
+
+// DrainedLines returns the number of lines made durable by fences.
+func (b *PersistBuffer) DrainedLines() uint64 { return b.drained }
+
+// PendingLines returns the number of buffered (not yet durable) lines.
+func (b *PersistBuffer) PendingLines() int { return len(b.pending) }
+
+// UnfencedFlushedLines returns the sorted line numbers that were flushed
+// but have not yet reached a fence — the lines a relaxed-ordering crash
+// may or may not retain.
+func (b *PersistBuffer) UnfencedFlushedLines() []uint64 {
+	var out []uint64
+	for ln, st := range b.pending {
+		if st.flushed {
+			out = append(out, ln)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dirty records an impending write of data at off, capturing the durable
+// content of every newly-dirtied line first. A "silent store" — bytes
+// identical to the line's current content — does not re-dirty a line
+// whose writeback is already in flight (the store changes nothing, so
+// whether the earlier writeback drains is unaffected); this keeps the
+// mirror-write idiom of the workloads (log write + charged runtime store
+// of the same value) from permanently pinning lines in the buffer.
+func (b *PersistBuffer) dirty(off uint64, data []byte) {
+	n := uint64(len(data))
+	if n == 0 {
+		return
+	}
+	first := off / b.line
+	last := (off + n - 1) / b.line
+	for ln := first; ln <= last; ln++ {
+		lineStart := ln * b.line
+		lo, hi := lineStart, lineStart+b.line
+		if off > lo {
+			lo = off
+		}
+		if off+n < hi {
+			hi = off + n
+		}
+		seg := data[lo-off : hi-off]
+		st := b.pending[ln]
+		if st == nil {
+			cur := make([]byte, b.line)
+			b.dev.readRaw(cur, lineStart)
+			if bytesEqual(seg, cur[lo-lineStart:hi-lineStart]) {
+				continue // silent store to a clean line
+			}
+			b.pending[ln] = &lineState{durable: cur}
+			continue
+		}
+		if st.flushed {
+			cur := make([]byte, hi-lo)
+			b.dev.readRaw(cur, lo)
+			if bytesEqual(seg, cur) {
+				continue // silent store: in-flight writeback unaffected
+			}
+			st.flushed = false
+		}
+	}
+}
+
+// flush marks every line overlapping [off, off+n) as written back.
+func (b *PersistBuffer) flush(off, n uint64) {
+	b.emit(FlushEvent)
+	b.flushes++
+	first := off / b.line
+	last := (off + n - 1) / b.line
+	for ln := first; ln <= last; ln++ {
+		if st := b.pending[ln]; st != nil {
+			st.flushed = true
+		}
+	}
+}
+
+// fence drains every flushed line: its current content becomes durable.
+func (b *PersistBuffer) fence() {
+	b.emit(FenceEvent)
+	b.fences++
+	for ln, st := range b.pending {
+		if st.flushed {
+			delete(b.pending, ln)
+			b.drained++
+		}
+	}
+}
+
+func (b *PersistBuffer) emit(k EventKind) {
+	if b.hook != nil {
+		b.hook(Event{Kind: k, Index: b.events})
+	}
+	b.events++
+}
+
+// reset empties the buffer (a power cycle loses the volatile lines).
+func (b *PersistBuffer) reset() {
+	b.pending = make(map[uint64]*lineState)
+}
+
+// CrashImage materializes the post-crash durable state: the device's
+// current pages with every dirty, unflushed line reverted to its durable
+// content. dropFlushed, when non-nil, is consulted (in ascending line
+// order, so seeded decisions are deterministic) for each line whose
+// writeback was issued but not yet fenced; returning true reverts that
+// line too, modeling relaxed persist ordering where an in-flight
+// writeback may not have drained when power failed. A nil dropFlushed
+// retains every flushed line (strict drain-on-flush ordering).
+func (b *PersistBuffer) CrashImage(dropFlushed func(line uint64) bool) map[uint64][]byte {
+	img := b.dev.Snapshot()
+	lines := make([]uint64, 0, len(b.pending))
+	for ln := range b.pending {
+		lines = append(lines, ln)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, ln := range lines {
+		st := b.pending[ln]
+		if st.flushed && (dropFlushed == nil || !dropFlushed(ln)) {
+			continue
+		}
+		off := ln * b.line
+		pn := off / pageSize
+		p := img[pn]
+		if p == nil {
+			p = make([]byte, pageSize)
+			img[pn] = p
+		}
+		in := off % pageSize
+		copy(p[in:in+b.line], st.durable)
+	}
+	return img
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

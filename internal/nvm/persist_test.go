@@ -1,0 +1,218 @@
+package nvm
+
+import (
+	"testing"
+)
+
+func img8(t *testing.T, img map[uint64][]byte, off uint64) uint64 {
+	t.Helper()
+	d := NewDevice(NVM, 1<<20)
+	d.Restore(img)
+	v, err := d.Read8(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPersistBufferUnflushedWritesAreNotDurable(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.Write8(0, 1) // pre-buffer content is durable
+	d.EnablePersistBuffer(64)
+	d.Write8(0, 2)
+	if v, _ := d.Read8(0); v != 2 {
+		t.Fatalf("cache view = %d, want the newest value 2", v)
+	}
+	if v := img8(t, d.CrashImage(nil), 0); v != 1 {
+		t.Fatalf("durable view = %d, want pre-buffer 1", v)
+	}
+}
+
+func TestPersistBufferFlushAloneIsNotDurable(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	d.Write8(128, 7)
+	d.Flush(128, 8)
+	if v := img8(t, d.CrashImage(nil), 128); v != 7 {
+		// Strict model: a retained flush is durable when not dropped.
+		t.Fatalf("flushed line dropped under nil policy: %d", v)
+	}
+	// Under adversarial ordering the unfenced flush may be dropped.
+	if v := img8(t, d.CrashImage(func(uint64) bool { return true }), 128); v != 0 {
+		t.Fatalf("dropped flushed line still durable: %d", v)
+	}
+	if got := b.UnfencedFlushedLines(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("unfenced flushed lines = %v, want [2]", got)
+	}
+}
+
+func TestPersistBufferFenceDrains(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	d.Write8(0, 42)
+	d.Flush(0, 8)
+	d.Fence()
+	if b.PendingLines() != 0 {
+		t.Fatalf("pending lines after fence = %d", b.PendingLines())
+	}
+	// Even an adversarial crash keeps fenced data.
+	if v := img8(t, d.CrashImage(func(uint64) bool { return true }), 0); v != 42 {
+		t.Fatalf("fenced write lost: %d", v)
+	}
+	if b.DrainedLines() != 1 || b.Flushes() != 1 || b.Fences() != 1 {
+		t.Fatalf("stats = drained %d flushes %d fences %d", b.DrainedLines(), b.Flushes(), b.Fences())
+	}
+}
+
+func TestPersistBufferRewriteAfterFlushRedirties(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.EnablePersistBuffer(64)
+	d.Write8(0, 1)
+	d.Flush(0, 8)
+	d.Write8(0, 2) // different bytes: the line is dirty again
+	d.Fence()      // must NOT drain the re-dirtied line
+	if v := img8(t, d.CrashImage(nil), 0); v != 0 {
+		t.Fatalf("re-dirtied line drained at fence: durable = %d", v)
+	}
+}
+
+func TestPersistBufferSilentStoreKeepsFlushInFlight(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.EnablePersistBuffer(64)
+	d.Write8(0, 9)
+	d.Flush(0, 8)
+	d.Write8(0, 9) // identical bytes: writeback stays in flight
+	d.Fence()
+	if v := img8(t, d.CrashImage(nil), 0); v != 9 {
+		t.Fatalf("silent store blocked the drain: durable = %d", v)
+	}
+}
+
+func TestPersistBufferEventHookOrderAndIndices(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	var got []Event
+	b.SetEventHook(func(e Event) { got = append(got, e) })
+	d.Write8(0, 1)
+	d.Flush(0, 8)
+	d.Fence()
+	d.Flush(64, 8)
+	want := []Event{{FlushEvent, 0}, {FenceEvent, 1}, {FlushEvent, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if b.Events() != 3 {
+		t.Fatalf("Events() = %d", b.Events())
+	}
+}
+
+func TestPersistBufferHookSeesPreEventState(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	d.Write8(0, 5)
+	d.Flush(0, 8)
+	var durableAtFence uint64
+	b.SetEventHook(func(e Event) {
+		if e.Kind == FenceEvent {
+			durableAtFence = img8(t, d.CrashImage(func(uint64) bool { return true }), 0)
+		}
+	})
+	d.Fence()
+	if durableAtFence != 0 {
+		t.Fatalf("crash at fence entry saw post-fence state: %d", durableAtFence)
+	}
+}
+
+func TestPersistBufferLineGranularity(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.EnablePersistBuffer(64)
+	d.Write8(0, 1)  // line 0
+	d.Write8(64, 2) // line 1
+	d.Flush(0, 8)   // only line 0
+	d.Fence()
+	img := d.CrashImage(nil)
+	if v := img8(t, img, 0); v != 1 {
+		t.Fatalf("line 0 = %d", v)
+	}
+	if v := img8(t, img, 64); v != 0 {
+		t.Fatalf("line 1 leaked to durability: %d", v)
+	}
+}
+
+func TestPersistBufferZeroIsBuffered(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.Write8(0, 77)
+	d.EnablePersistBuffer(64)
+	if err := d.Zero(0, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Read8(0); v != 0 {
+		t.Fatalf("cache view after Zero = %d", v)
+	}
+	if v := img8(t, d.CrashImage(nil), 0); v != 77 {
+		t.Fatalf("unflushed Zero became durable: %d", v)
+	}
+}
+
+func TestPersistBufferRestoreClears(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.Write8(0, 1)
+	snap := d.Snapshot()
+	b := d.EnablePersistBuffer(64)
+	d.Write8(0, 2)
+	d.Restore(snap)
+	if b.PendingLines() != 0 {
+		t.Fatalf("pending lines survived power cycle: %d", b.PendingLines())
+	}
+	if v := img8(t, d.CrashImage(nil), 0); v != 1 {
+		t.Fatalf("restored durable view = %d", v)
+	}
+}
+
+func TestPersistBufferBadLineSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("line size 48 accepted")
+		}
+	}()
+	NewDevice(NVM, 1<<20).EnablePersistBuffer(48)
+}
+
+// Satellite: Snapshot must be a deep copy — mutating the device after
+// Snapshot must not alter the snapshot, and mutating the snapshot must
+// not alter the device (nor a device later restored from it).
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.Write8(0, 10)
+	d.Write8(pageSize, 20)
+	snap := d.Snapshot()
+
+	// Device mutations must not leak into the snapshot.
+	d.Write8(0, 11)
+	if v := snap[0][0]; v != 10 {
+		t.Fatalf("snapshot byte changed with the device: %d", v)
+	}
+
+	// Snapshot mutations must not leak into the device...
+	snap[0][0] = 0xff
+	if v, _ := d.Read8(0); v != 11 {
+		t.Fatalf("device byte changed with the snapshot: %d", v)
+	}
+
+	// ...and Restore must copy again, isolating the restored device from
+	// later snapshot mutations.
+	d2 := NewDevice(NVM, 1<<20)
+	d2.Restore(snap)
+	snap[1][0] = 0xee
+	if v, _ := d2.Read8(pageSize); v != 20 {
+		t.Fatalf("restored device aliases the snapshot: %d", v)
+	}
+	if v, _ := d2.Read8(0); v != 0xff {
+		t.Fatalf("restore lost snapshot content: %d", v)
+	}
+}

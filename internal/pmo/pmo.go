@@ -367,6 +367,17 @@ func (p *PMO) WriteAt(b []byte, off uint64) error {
 	return p.mgr.dev.WriteAt(b, p.DevOff+off)
 }
 
+// Flush issues a cache-line writeback toward the backing device's
+// persist buffer for the PMO byte range [off, off+n). Without a buffer
+// (the default), writes are modeled as immediately durable and Flush is
+// a no-op, so callers can issue the real persistence protocol
+// unconditionally.
+func (p *PMO) Flush(off, n uint64) { p.mgr.dev.Flush(p.DevOff+off, n) }
+
+// Fence is a persist barrier: it drains every writeback issued by Flush
+// (no-op without a persist buffer).
+func (p *PMO) Fence() { p.mgr.dev.Fence() }
+
 // Read8 reads a 64-bit word at the PMO offset.
 func (p *PMO) Read8(off uint64) (uint64, error) {
 	if off+8 > p.Size {
@@ -419,13 +430,16 @@ func (p *PMO) Alloc(size uint64) (OID, error) {
 				rest := cur + need
 				p.write8(rest, bsize-need)
 				p.write8(rest+8, next)
+				p.Flush(rest, 16)
 				p.relinkFree(prev, rest)
 				p.write8(cur, need)
 			} else {
 				p.relinkFree(prev, next)
 				// keep block's existing size
 			}
+			p.Flush(cur, blockHeader)
 			p.write8(offAllocs, p.read8(offAllocs)+1)
+			p.Flush(0, HeaderSize)
 			return MakeOID(p.ID, cur+blockHeader), nil
 		}
 		prev, cur = cur, next
@@ -437,16 +451,20 @@ func (p *PMO) Alloc(size uint64) (OID, error) {
 		return NilOID, fmt.Errorf("%w: pmo %q alloc %d", ErrNoMemory, p.Name, size)
 	}
 	p.write8(brk, need)
+	p.Flush(brk, blockHeader)
 	p.write8(offBrk, brk+need)
 	p.write8(offAllocs, p.read8(offAllocs)+1)
+	p.Flush(0, HeaderSize)
 	return MakeOID(p.ID, brk+blockHeader), nil
 }
 
 func (p *PMO) relinkFree(prev, next uint64) {
 	if prev == 0 {
 		p.write8(offFreeHead, next)
+		p.Flush(offFreeHead, 8)
 	} else {
 		p.write8(prev+8, next)
+		p.Flush(prev+8, 8)
 	}
 }
 
@@ -490,8 +508,71 @@ func (p *PMO) Free(o OID) error {
 	if prev != 0 && prev+p.read8(prev) == blk {
 		p.write8(prev, p.read8(prev)+bsize)
 		p.write8(prev+8, p.read8(blk+8))
+		p.Flush(prev, 16)
 	}
+	p.Flush(blk, 16)
 	p.write8(offAllocs, p.read8(offAllocs)-1)
+	p.Flush(0, HeaderSize)
+	return nil
+}
+
+// CheckConsistency validates the PMO's persistent metadata as found on
+// the device: header magic and size, the bump pointer, and the free list
+// (in-range, address-ordered, non-overlapping, acyclic, sane sizes). The
+// crash-injection verifier runs it on every post-crash image; it reads
+// through the raw device path so it works on a freshly reopened PMO.
+func (p *PMO) CheckConsistency() error {
+	magic, err := p.Read8(offMagic)
+	if err != nil {
+		return err
+	}
+	if magic != magicValue {
+		return fmt.Errorf("pmo: %q bad header magic %#x", p.Name, magic)
+	}
+	size, err := p.Read8(offSize)
+	if err != nil {
+		return err
+	}
+	if size != p.Size {
+		return fmt.Errorf("pmo: %q header size %d != namespace size %d", p.Name, size, p.Size)
+	}
+	brk, err := p.Read8(offBrk)
+	if err != nil {
+		return err
+	}
+	if brk < DataStart || brk > p.Size {
+		return fmt.Errorf("pmo: %q bump pointer %#x outside [%#x, %#x]", p.Name, brk, uint64(DataStart), p.Size)
+	}
+	// Walk the free list. Block count is bounded by the smallest legal
+	// block, which also bounds a cycle.
+	maxBlocks := (brk-DataStart)/(blockHeader+8) + 1
+	var prevEnd uint64
+	cur, err := p.Read8(offFreeHead)
+	if err != nil {
+		return err
+	}
+	for steps := uint64(0); cur != 0; steps++ {
+		if steps > maxBlocks {
+			return fmt.Errorf("pmo: %q free list cycle after %d blocks", p.Name, steps)
+		}
+		if cur < DataStart || cur+blockHeader > brk {
+			return fmt.Errorf("pmo: %q free block %#x out of range", p.Name, cur)
+		}
+		if cur < prevEnd {
+			return fmt.Errorf("pmo: %q free list unordered or overlapping at %#x", p.Name, cur)
+		}
+		bsize, err := p.Read8(cur)
+		if err != nil {
+			return err
+		}
+		if bsize < blockHeader+8 || cur+bsize > brk {
+			return fmt.Errorf("pmo: %q free block %#x has bad size %d", p.Name, cur, bsize)
+		}
+		prevEnd = cur + bsize
+		if cur, err = p.Read8(cur + 8); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

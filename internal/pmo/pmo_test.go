@@ -287,3 +287,70 @@ func TestFreeBytesMonotonicity(t *testing.T) {
 		t.Fatalf("free did not restore space: %d != %d", after, before)
 	}
 }
+
+func TestCheckConsistency(t *testing.T) {
+	m := newMgr()
+	p, err := m.Create("cons", 1<<20, ModeRead|ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckConsistency(); err != nil {
+		t.Fatalf("fresh PMO inconsistent: %v", err)
+	}
+	// A worked allocator (allocs, frees, coalescing) stays consistent.
+	r := rand.New(rand.NewSource(5))
+	var live []OID
+	for i := 0; i < 400; i++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			k := r.Intn(len(live))
+			if err := p.Free(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		} else {
+			o, err := p.Alloc(uint64(8 + r.Intn(256)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, o)
+		}
+		if err := p.CheckConsistency(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name  string
+		smash func(p *PMO)
+	}{
+		{"magic", func(p *PMO) { p.write8(offMagic, 0xbad) }},
+		{"size", func(p *PMO) { p.write8(offSize, p.Size/2) }},
+		{"brk-low", func(p *PMO) { p.write8(offBrk, 8) }},
+		{"brk-high", func(p *PMO) { p.write8(offBrk, p.Size+8) }},
+		{"free-out-of-range", func(p *PMO) { p.write8(offFreeHead, p.Size) }},
+		{"free-cycle", func(p *PMO) {
+			o, _ := p.Alloc(32)
+			p.Free(o)
+			blk := o.Offset() - blockHeader
+			p.write8(blk+8, blk) // self-loop
+		}},
+		{"free-bad-size", func(p *PMO) {
+			o, _ := p.Alloc(32)
+			p.Free(o)
+			p.write8(o.Offset()-blockHeader, 1)
+		}},
+	}
+	for _, tc := range cases {
+		m := newMgr()
+		p, err := m.Create("smash-"+tc.name, 1<<20, ModeRead|ModeWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.smash(p)
+		if err := p.CheckConsistency(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/crash"
 	"repro/internal/params"
 	"repro/internal/speckit"
 	"repro/internal/whisper"
@@ -32,6 +33,8 @@ const (
 	Whisper Kind = iota
 	// Spec runs one SPEC-style kernel through the compiler pipeline.
 	Spec
+	// Crash runs one fault-injection spec through internal/crash.
+	Crash
 )
 
 // String names the kind for progress labels.
@@ -41,6 +44,8 @@ func (k Kind) String() string {
 		return "whisper"
 	case Spec:
 		return "spec"
+	case Crash:
+		return "crash"
 	default:
 		return "unknown"
 	}
@@ -71,6 +76,12 @@ type Cell struct {
 	Ops int
 	// Scale and Threads size the kernel and its worker count (Spec cells).
 	Scale, Threads int
+	// Policy, Every, PointStart, PointCount and Adversarial describe the
+	// fault-injection slice (Crash cells): the crash-point enumeration
+	// policy and the window of points this cell injects.
+	Policy                        string
+	Every, PointStart, PointCount int
+	Adversarial                   bool
 }
 
 // Config builds the cell's protection configuration.
@@ -97,8 +108,11 @@ func (c Cell) Name() string {
 type CellResult struct {
 	// Cell is the spec that ran.
 	Cell Cell
-	// Result is the finished run's measurements (zero on error).
+	// Result is the finished run's measurements (zero on error; unused
+	// for Crash cells).
 	Result core.Result
+	// Crash is the fault-injection report (Crash cells only).
+	Crash *crash.Report
 	// Err is the cell's failure, if any.
 	Err error
 }
@@ -155,7 +169,8 @@ func Execute(cells []Cell, opt Options) ([]CellResult, error) {
 			defer wg.Done()
 			for i := range idx {
 				res, err := RunCell(cells[i], cache)
-				results[i] = CellResult{Cell: cells[i], Result: res, Err: err}
+				res.Err = err
+				results[i] = res
 				if opt.Progress != nil {
 					mu.Lock()
 					done++
@@ -180,35 +195,54 @@ func Execute(cells []Cell, opt Options) ([]CellResult, error) {
 	return results, errors.Join(errs...)
 }
 
-// RunCell executes one cell on the calling goroutine. The cache supplies
-// compiled kernel programs for Spec cells; nil uses DefaultCache.
-func RunCell(c Cell, cache *ProgCache) (core.Result, error) {
+// RunCell executes one cell on the calling goroutine, returning the
+// populated result (Err is left for the caller to attach). The cache
+// supplies compiled kernel programs for Spec cells; nil uses DefaultCache.
+func RunCell(c Cell, cache *ProgCache) (CellResult, error) {
 	if cache == nil {
 		cache = DefaultCache
 	}
+	out := CellResult{Cell: c}
 	cfg := c.Config()
 	switch c.Kind {
 	case Whisper:
 		mk, err := whisper.ByName(c.Workload)
 		if err != nil {
-			return core.Result{}, err
+			return out, err
 		}
-		return whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops})
+		res, err := whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops})
+		out.Result = res
+		return out, err
 	case Spec:
 		k, err := speckit.ByName(c.Workload)
 		if err != nil {
-			return core.Result{}, err
+			return out, err
 		}
 		opt, insert := speckit.InsertOptions(cfg)
 		prog, err := cache.Program(k, c.Scale, insert, opt)
 		if err != nil {
-			return core.Result{}, err
+			return out, err
 		}
-		return speckit.RunProgram(cfg, k, prog, speckit.RunOpts{
+		res, err := speckit.RunProgram(cfg, k, prog, speckit.RunOpts{
 			Threads: c.Threads,
 			Scale:   c.Scale,
 		})
+		out.Result = res
+		return out, err
+	case Crash:
+		rep, err := crash.Run(crash.Spec{
+			Workload:    c.Workload,
+			Ops:         c.Ops,
+			Seed:        c.Seed,
+			Policy:      crash.Policy(c.Policy),
+			Every:       c.Every,
+			PointStart:  c.PointStart,
+			Points:      c.PointCount,
+			Adversarial: c.Adversarial,
+		})
+		out.Crash = rep
+		return out, err
 	default:
-		return core.Result{}, fmt.Errorf("runner: unknown cell kind %d", c.Kind)
+		return out, fmt.Errorf("runner: unknown cell kind %d", c.Kind)
 	}
 }

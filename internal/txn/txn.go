@@ -56,6 +56,9 @@ var (
 	ErrNoTxn = errors.New("txn: no active transaction")
 	// ErrLogFull is returned when the undo log overflows.
 	ErrLogFull = errors.New("txn: undo log full")
+	// ErrLogCorrupt is returned when the persistent log state is
+	// impossible (e.g. a count beyond the log capacity).
+	ErrLogCorrupt = errors.New("txn: corrupt undo log")
 )
 
 // Log is a persistent undo log living inside one PMO.
@@ -84,6 +87,8 @@ func NewLog(p *pmo.PMO, capacity int) (*Log, pmo.OID, error) {
 	if err := p.Write8(l.base+offLogCount, 0); err != nil {
 		return nil, pmo.NilOID, err
 	}
+	p.Flush(l.base, offLogRecords)
+	p.Fence()
 	return l, oid, nil
 }
 
@@ -122,6 +127,13 @@ func (l *Log) Begin() error {
 // Active reports whether a transaction is open.
 func (l *Log) Active() bool { return l.active }
 
+// Pending returns the persistent record count — the number of undo
+// records a recovery starting from the current durable state would see.
+// A quiescent (committed or recovered) log reports zero.
+func (l *Log) Pending() (uint64, error) {
+	return l.p.Read8(l.base + offLogCount)
+}
+
 // Write performs a transactional 8-byte write: the old value is logged and
 // flushed before the new value is written (undo logging discipline).
 func (l *Log) Write(oid pmo.OID, v uint64) error {
@@ -143,16 +155,23 @@ func (l *Log) Write(oid pmo.OID, v uint64) error {
 		return err
 	}
 	// Persist the record, then bump the count, then persist the count,
-	// and only then write the data in place: write-ahead ordering.
+	// and only then write the data in place: write-ahead ordering. The
+	// Flush/Fence calls are the semantic drain points on the device's
+	// persist buffer; the Compute calls charge the matching cycle costs.
+	l.p.Flush(rec, recordSize)
+	l.p.Fence()
 	l.sink.Compute(FlushCost + FenceCost)
 	l.count++
 	if err := l.p.Write8(l.base+offLogCount, uint64(l.count)); err != nil {
 		return err
 	}
+	l.p.Flush(l.base+offLogCount, 8)
+	l.p.Fence()
 	l.sink.Compute(FlushCost + FenceCost)
 	if err := l.p.Write8(oid.Offset(), v); err != nil {
 		return err
 	}
+	l.p.Flush(oid.Offset(), 8)
 	l.sink.Compute(FlushCost)
 	return nil
 }
@@ -162,11 +181,17 @@ func (l *Log) Commit() error {
 	if !l.active {
 		return ErrNoTxn
 	}
-	// Flush data, fence, then truncate the log.
+	// Drain the in-place data writes (their writebacks were issued by
+	// Write but never fenced), and only then truncate the log. Truncating
+	// first would let a crash land with the log empty while the last data
+	// line's writeback is still in flight — a torn, unrecoverable state.
+	l.p.Fence()
 	l.sink.Compute(FenceCost)
 	if err := l.p.Write8(l.base+offLogCount, 0); err != nil {
 		return err
 	}
+	l.p.Flush(l.base+offLogCount, 8)
+	l.p.Fence()
 	l.sink.Compute(FlushCost + FenceCost)
 	l.active = false
 	l.count = 0
@@ -193,6 +218,9 @@ func (l *Log) Recover() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if n > uint64(l.capacity) {
+		return 0, fmt.Errorf("%w: count %d exceeds capacity %d", ErrLogCorrupt, n, l.capacity)
+	}
 	l.count = int(n)
 	undone := l.count
 	if err := l.rollback(); err != nil {
@@ -217,12 +245,16 @@ func (l *Log) rollback() error {
 		if err := l.p.Write8(pmo.OID(rawOID).Offset(), old); err != nil {
 			return err
 		}
+		l.p.Flush(pmo.OID(rawOID).Offset(), 8)
 		l.sink.Compute(FlushCost)
 	}
+	l.p.Fence()
 	l.count = 0
 	if err := l.p.Write8(l.base+offLogCount, 0); err != nil {
 		return err
 	}
+	l.p.Flush(l.base+offLogCount, 8)
+	l.p.Fence()
 	l.sink.Compute(FlushCost + FenceCost)
 	return nil
 }

@@ -225,3 +225,144 @@ func TestActiveFlag(t *testing.T) {
 		t.Fatal("committed log still active")
 	}
 }
+
+// pairMagic ties two cells together: the invariant b == a^pairMagic holds
+// before and after every committed transaction, so any crash image whose
+// recovery breaks it exposes a torn (partially durable) update.
+const pairMagic = 0x5a5a5a5a5a5a5a5a
+
+// Regression test for Commit ordering: the in-place data writebacks must
+// be drained (fenced) BEFORE the log-count truncation write. A commit
+// that truncates first can crash with the count durably zero while a data
+// line's writeback is dropped under relaxed persist ordering — recovery
+// then sees an empty log and cannot repair the torn pair.
+func TestCommitDrainsDataBeforeTruncation(t *testing.T) {
+	dev, p, l, logOID := setup(t)
+	a, _ := p.Alloc(8)
+	if _, err := p.Alloc(64); err != nil { // spacer: a and b on distinct lines
+		t.Fatal(err)
+	}
+	b, _ := p.Alloc(8)
+	p.Write8(a.Offset(), 1)
+	p.Write8(b.Offset(), 1^pairMagic)
+
+	buf := dev.EnablePersistBuffer(0) // everything above is already durable
+	line := buf.LineSize()
+	aLine := (p.DevOff + a.Offset()) / line
+	bLine := (p.DevOff + b.Offset()) / line
+	countLine := (p.DevOff + l.base + offLogCount) / line
+	if aLine == bLine || aLine == countLine || bLine == countLine {
+		t.Fatalf("layout collapsed onto one line: a=%d b=%d count=%d", aLine, bLine, countLine)
+	}
+
+	// Adversary: at every persist event, power fails with b's in-flight
+	// writeback lost and every other unfenced line retained (relaxed
+	// ordering may drop any subset; this is the subset that hurts: b is
+	// the last data line written, so its writeback is the one still
+	// unfenced when Commit runs).
+	drop := func(ln uint64) bool { return ln == bLine }
+	var images []map[uint64][]byte
+	buf.SetEventHook(func(nvm.Event) {
+		images = append(images, dev.CrashImage(drop))
+	})
+
+	l.Begin()
+	if err := l.Write(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Write(b, 2^pairMagic); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(images) < 6 {
+		t.Fatalf("only %d persist events observed", len(images))
+	}
+	for i, img := range images {
+		d2 := nvm.NewDevice(nvm.NVM, 1<<24)
+		d2.Restore(img)
+		p2, err := pmo.NewManager(d2).Open("txn")
+		if err != nil {
+			t.Fatalf("event %d: reopen: %v", i, err)
+		}
+		l2, err := OpenLog(p2, logOID, 128)
+		if err != nil {
+			t.Fatalf("event %d: open log: %v", i, err)
+		}
+		if _, err := l2.Recover(); err != nil {
+			t.Fatalf("event %d: recover: %v", i, err)
+		}
+		av, _ := p2.Read8(a.Offset())
+		bv, _ := p2.Read8(b.Offset())
+		if bv != av^pairMagic {
+			t.Errorf("crash at event %d: a=%d b=%#x — pair invariant broken", i, av, bv)
+		}
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	_, p, _, logOID := setup(t)
+	l2, err := OpenLog(p, logOID, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undone, err := l2.Recover()
+	if err != nil || undone != 0 {
+		t.Fatalf("undone=%d err=%v", undone, err)
+	}
+	if n, _ := l2.Pending(); n != 0 {
+		t.Fatalf("pending = %d after recovery of empty log", n)
+	}
+}
+
+func TestRecoverFullCapacityLog(t *testing.T) {
+	dev := nvm.NewDevice(nvm.NVM, 1<<24)
+	mgr := pmo.NewManager(dev)
+	p, _ := mgr.Create("full", 1<<20, pmo.ModeRead|pmo.ModeWrite)
+	const capacity = 4
+	l, logOID, err := NewLog(p, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]pmo.OID, capacity)
+	for i := range cells {
+		cells[i], _ = p.Alloc(8)
+		p.Write8(cells[i].Offset(), uint64(i))
+	}
+	l.Begin()
+	for i, c := range cells {
+		if err := l.Write(c, uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash with the log completely full, then recover.
+	l2, _ := OpenLog(p, logOID, capacity)
+	undone, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undone != capacity {
+		t.Fatalf("undone = %d, want %d", undone, capacity)
+	}
+	for i, c := range cells {
+		if v, _ := p.Read8(c.Offset()); v != uint64(i) {
+			t.Fatalf("cell %d = %d after full-log recovery", i, v)
+		}
+	}
+}
+
+func TestRecoverCorruptCountErrors(t *testing.T) {
+	for _, bogus := range []uint64{129, 1 << 40, ^uint64(0)} {
+		_, p, l, logOID := setup(t)
+		p.Write8(l.base+offLogCount, bogus)
+		l2, err := OpenLog(p, logOID, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l2.Recover(); !errors.Is(err, ErrLogCorrupt) {
+			t.Fatalf("count %d: err = %v, want ErrLogCorrupt", bogus, err)
+		}
+	}
+}

@@ -120,6 +120,58 @@ func (h *Hash) Put(ctx *core.ThreadCtx, key, value uint64) error {
 	return fmt.Errorf("whisper: hash full")
 }
 
+// Audit validates the table's durable state in a reopened PMO p: every
+// occupied slot holds a key in [1, maxKey] that is reachable by linear
+// probing from its home slot (no holes torn into probe chains, no
+// duplicates). val, when non-nil, additionally validates each occupied
+// slot's value.
+func (h *Hash) Audit(p *pmo.PMO, maxKey uint64, val func(key, v uint64) error) error {
+	for s := uint64(0); s < h.cap; s++ {
+		off := h.base + s*16
+		k, err := p.Read8(off)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			continue
+		}
+		if k > maxKey {
+			return fmt.Errorf("whisper: hash slot %d key %d out of range", s, k)
+		}
+		if val != nil {
+			v, err := p.Read8(off + 8)
+			if err != nil {
+				return err
+			}
+			if err := val(k, v); err != nil {
+				return err
+			}
+		}
+		reachable := false
+		for probe := uint64(0); probe < h.cap; probe++ {
+			i := (mix(k) + probe) & (h.cap - 1)
+			if i == s {
+				reachable = true
+				break
+			}
+			kk, err := p.Read8(h.base + i*16)
+			if err != nil {
+				return err
+			}
+			if kk == 0 {
+				return fmt.Errorf("whisper: hash key %d at slot %d hidden behind empty slot %d", k, s, i)
+			}
+			if kk == k {
+				return fmt.Errorf("whisper: hash key %d duplicated at slots %d and %d", k, i, s)
+			}
+		}
+		if !reachable {
+			return fmt.Errorf("whisper: hash key %d at slot %d unreachable", k, s)
+		}
+	}
+	return nil
+}
+
 // Tree is a persistent unbalanced binary search tree (the paper's ctree
 // stand-in). Node layout: [key | value | left | right], children stored
 // as OIDs.
@@ -192,6 +244,11 @@ func (t *Tree) Insert(ctx *core.ThreadCtx, key, value uint64) error {
 				t.log.Abort()
 				return err
 			}
+			// The node's content must be durable before the link to it
+			// is: issue its writebacks now so the fences inside the
+			// logged link write drain them first. Semantic only — the
+			// runtime store above already charged the cycle costs.
+			t.p.Flush(node.Offset(), nodeSize)
 			if err := t.log.Write(link, uint64(node)); err != nil {
 				t.log.Abort()
 				return err
@@ -225,6 +282,56 @@ func (t *Tree) Insert(ctx *core.ThreadCtx, key, value uint64) error {
 			link = field(n, nodeRight)
 		}
 	}
+}
+
+// Audit validates the tree's durable state in a reopened PMO p: a
+// well-formed binary search tree over keys in [1, maxKey], with node
+// OIDs inside the PMO and no cycles (bounded by maxKey nodes, since keys
+// are unique).
+func (t *Tree) Audit(p *pmo.PMO, maxKey uint64) error {
+	type frame struct {
+		n      pmo.OID
+		lo, hi uint64 // exclusive key bounds
+	}
+	rootRaw, err := p.Read8(t.root.Offset())
+	if err != nil {
+		return err
+	}
+	stack := []frame{{pmo.OID(rootRaw), 0, ^uint64(0)}}
+	visited := uint64(0)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.n.IsNil() {
+			continue
+		}
+		if visited++; visited > maxKey {
+			return fmt.Errorf("whisper: tree has over %d nodes — cycle or corruption", maxKey)
+		}
+		if f.n.Pool() != t.root.Pool() || f.n.Offset()+nodeSize > p.Size {
+			return fmt.Errorf("whisper: tree node %v outside the PMO", f.n)
+		}
+		k, err := p.Read8(f.n.Offset() + nodeKey)
+		if err != nil {
+			return err
+		}
+		if k == 0 || k > maxKey {
+			return fmt.Errorf("whisper: tree key %d out of range", k)
+		}
+		if k <= f.lo || k >= f.hi {
+			return fmt.Errorf("whisper: tree key %d violates BST bounds (%d, %d)", k, f.lo, f.hi)
+		}
+		left, err := p.Read8(f.n.Offset() + nodeLeft)
+		if err != nil {
+			return err
+		}
+		right, err := p.Read8(f.n.Offset() + nodeRight)
+		if err != nil {
+			return err
+		}
+		stack = append(stack, frame{pmo.OID(left), f.lo, k}, frame{pmo.OID(right), k, f.hi})
+	}
+	return nil
 }
 
 // Lookup finds a key.

@@ -165,7 +165,7 @@ func TestHashCorrectness(t *testing.T) {
 	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
 	rt := core.NewRuntime(unprotCfg(), mgr)
 	ctx := rt.NewThread(sim.SingleThread())
-	p, log, err := setupCommon(mgr, "t", ctx)
+	p, log, _, err := setupCommon(mgr, "t", ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestTreeCorrectness(t *testing.T) {
 	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
 	rt := core.NewRuntime(unprotCfg(), mgr)
 	ctx := rt.NewThread(sim.SingleThread())
-	p, log, err := setupCommon(mgr, "t", ctx)
+	p, log, _, err := setupCommon(mgr, "t", ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestHashRejectsBadCapacity(t *testing.T) {
 	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
 	rt := core.NewRuntime(unprotCfg(), mgr)
 	ctx := rt.NewThread(sim.SingleThread())
-	p, log, err := setupCommon(mgr, "t", ctx)
+	p, log, _, err := setupCommon(mgr, "t", ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,5 +342,102 @@ func TestWorkloadCharacterDifferences(t *testing.T) {
 			t.Fatalf("%s and %s have identical cycle counts", name, prev)
 		}
 		seen[res.Cycles] = name
+	}
+}
+
+// setupWorkload runs a workload's Setup on a fresh machine and returns
+// the pieces the audit tests need.
+func setupWorkload(t *testing.T, mk func() Workload) (Recoverable, *pmo.Manager) {
+	t.Helper()
+	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, 2*pmoSize))
+	ctx := core.NewRuntime(unprotCfg(), mgr).NewThread(sim.SingleThread())
+	w := mk()
+	if err := w.Setup(mgr, ctx, rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := w.(Recoverable)
+	if !ok {
+		t.Fatalf("%s does not implement Recoverable", w.Name())
+	}
+	return r, mgr
+}
+
+func TestAllWorkloadsAreRecoverable(t *testing.T) {
+	for _, mk := range All() {
+		mk := mk
+		t.Run(mk().Name(), func(t *testing.T) {
+			w, _ := setupWorkload(t, mk)
+			if w.LogOID().IsNil() {
+				t.Fatal("nil log OID")
+			}
+			if _, err := txn.OpenLog(w.PMO(), w.LogOID(), LogCapacity); err != nil {
+				t.Fatalf("log not openable at its OID: %v", err)
+			}
+			if err := w.CheckInvariants(w.PMO()); err != nil {
+				t.Fatalf("fresh workload fails its own invariants: %v", err)
+			}
+		})
+	}
+}
+
+func TestHashAuditDetectsCorruption(t *testing.T) {
+	w, _ := setupWorkload(t, func() Workload { return NewHashmap() })
+	hm := w.(*Hashmap)
+	p := hm.PMO()
+	// Plant an out-of-range key in the first empty slot.
+	for s := uint64(0); s < hm.h.cap; s++ {
+		k, _ := p.Read8(hm.h.base + s*16)
+		if k == 0 {
+			p.Write8(hm.h.base+s*16, hm.keys+999)
+			break
+		}
+	}
+	if err := w.CheckInvariants(p); err == nil {
+		t.Fatal("out-of-range key not detected")
+	}
+}
+
+func TestHashAuditDetectsTornChain(t *testing.T) {
+	w, _ := setupWorkload(t, func() Workload { return NewHashmap() })
+	hm := w.(*Hashmap)
+	p := hm.PMO()
+	// Find a key displaced from its home slot and tear a hole at its
+	// home, making it unreachable by probing.
+	for s := uint64(0); s < hm.h.cap; s++ {
+		k, _ := p.Read8(hm.h.base + s*16)
+		home := mix(k) & (hm.h.cap - 1)
+		if k != 0 && home != s {
+			p.Write8(hm.h.base+home*16, 0)
+			if err := w.CheckInvariants(p); err == nil {
+				t.Fatal("torn probe chain not detected")
+			}
+			return
+		}
+	}
+	t.Skip("no displaced key in the preload")
+}
+
+func TestTreeAuditDetectsCorruption(t *testing.T) {
+	w, _ := setupWorkload(t, func() Workload { return NewCtree() })
+	ct := w.(*Ctree)
+	p := ct.PMO()
+	rootRaw, _ := p.Read8(ct.t.root.Offset())
+	root := pmo.OID(rootRaw)
+	// Point the root's left child back at the root: cycle + BST breach.
+	if err := p.Write8(root.Offset()+nodeLeft, uint64(root)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CheckInvariants(p); err == nil {
+		t.Fatal("tree cycle not detected")
+	}
+}
+
+func TestTPCCAuditDetectsCorruption(t *testing.T) {
+	w, _ := setupWorkload(t, func() Workload { return NewTPCC() })
+	tp := w.(*TPCC)
+	p := tp.PMO()
+	p.Write8(tp.orders.Offset()+8, 99) // district out of range
+	if err := w.CheckInvariants(p); err == nil {
+		t.Fatal("bad district not detected")
 	}
 }

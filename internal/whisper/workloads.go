@@ -43,21 +43,39 @@ type Profile struct {
 	EstOpCycles uint64
 }
 
+// Recoverable is implemented by workloads that can be crash-tested: they
+// expose where their undo log lives and can audit their durable
+// structures in a reopened (possibly crash-recovered) PMO.
+type Recoverable interface {
+	Workload
+	// LogOID returns the OID of the workload's undo log inside its PMO.
+	LogOID() pmo.OID
+	// CheckInvariants audits the workload's structures in p — a PMO
+	// reopened from a post-crash image after log recovery — returning an
+	// error describing the first violated invariant.
+	CheckInvariants(p *pmo.PMO) error
+}
+
 // pmoSize is the default PMO size; the paper uses 1 GB.
 const pmoSize = 1 << 30
 
-// setupCommon creates the PMO and an undo log inside it.
-func setupCommon(mgr *pmo.Manager, name string, ctx *core.ThreadCtx) (*pmo.PMO, *txn.Log, error) {
+// LogCapacity is the record capacity of every workload's undo log (a
+// transaction touches at most a handful of words).
+const LogCapacity = 64
+
+// setupCommon creates the PMO and an undo log inside it, returning the
+// log's OID so crash recovery can find it again.
+func setupCommon(mgr *pmo.Manager, name string, ctx *core.ThreadCtx) (*pmo.PMO, *txn.Log, pmo.OID, error) {
 	p, err := mgr.Create(name, pmoSize, pmo.ModeRead|pmo.ModeWrite)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, pmo.NilOID, err
 	}
-	log, _, err := txn.NewLog(p, 64)
+	log, logOID, err := txn.NewLog(p, LogCapacity)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, pmo.NilOID, err
 	}
 	log.SetSink(ctx)
-	return p, log, nil
+	return p, log, logOID, nil
 }
 
 // --- hashmap ---------------------------------------------------------------
@@ -65,9 +83,10 @@ func setupCommon(mgr *pmo.Manager, name string, ctx *core.ThreadCtx) (*pmo.PMO, 
 // Hashmap is the WHISPER hashmap benchmark: uniform 50/50 get/put over a
 // persistent open-addressing table.
 type Hashmap struct {
-	p    *pmo.PMO
-	h    *Hash
-	keys uint64
+	p      *pmo.PMO
+	h      *Hash
+	logOID pmo.OID
+	keys   uint64
 }
 
 // NewHashmap returns the benchmark with the default key range.
@@ -86,11 +105,11 @@ func (w *Hashmap) Profile() Profile {
 
 // Setup implements Workload.
 func (w *Hashmap) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p = p
+	w.p, w.logOID = p, logOID
 	w.h, err = NewHash(p, 1<<17, log)
 	if err != nil {
 		return err
@@ -122,6 +141,16 @@ func (w *Hashmap) preload(key, val uint64) error {
 	}
 }
 
+// LogOID implements Recoverable.
+func (w *Hashmap) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable: every occupied slot holds an
+// in-range key, reachable by probing from its home slot, with no
+// duplicates; empty slots carry no value.
+func (w *Hashmap) CheckInvariants(p *pmo.PMO) error {
+	return w.h.Audit(p, w.keys, nil)
+}
+
 // Op implements Workload.
 func (w *Hashmap) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 	key := uint64(rng.Int63n(int64(w.keys))) + 1
@@ -137,9 +166,10 @@ func (w *Hashmap) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 // Ctree is the WHISPER crit-bit tree benchmark analog: mixed
 // insert/lookup over a persistent binary search tree.
 type Ctree struct {
-	p    *pmo.PMO
-	t    *Tree
-	keys uint64
+	p      *pmo.PMO
+	t      *Tree
+	logOID pmo.OID
+	keys   uint64
 }
 
 // NewCtree returns the benchmark.
@@ -158,11 +188,11 @@ func (w *Ctree) Profile() Profile {
 
 // Setup implements Workload.
 func (w *Ctree) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p = p
+	w.p, w.logOID = p, logOID
 	w.t, err = NewTree(p, log)
 	if err != nil {
 		return err
@@ -180,6 +210,15 @@ func (w *Ctree) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) err
 		}
 	}
 	return nil
+}
+
+// LogOID implements Recoverable.
+func (w *Ctree) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable: the tree is a well-formed BST
+// over in-range keys with no cycles.
+func (w *Ctree) CheckInvariants(p *pmo.PMO) error {
+	return w.t.Audit(p, w.keys)
 }
 
 // Op implements Workload.
@@ -200,6 +239,7 @@ type Echo struct {
 	p      *pmo.PMO
 	h      *Hash
 	logOff pmo.OID // append-only record area cursor cell
+	logOID pmo.OID
 	keys   uint64
 }
 
@@ -219,11 +259,11 @@ func (w *Echo) Profile() Profile {
 
 // Setup implements Workload.
 func (w *Echo) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p = p
+	w.p, w.logOID = p, logOID
 	w.h, err = NewHash(p, 1<<16, log)
 	if err != nil {
 		return err
@@ -246,6 +286,52 @@ func (w *Echo) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) erro
 	return nil
 }
 
+// LogOID implements Recoverable.
+func (w *Echo) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable: records carry in-range keys and
+// versions no newer than the counter plus the one op that may have been
+// in flight; the index maps keys to aligned record slots.
+func (w *Echo) CheckInvariants(p *pmo.PMO) error {
+	areaRaw, err := p.Read8(w.logOff.Offset())
+	if err != nil {
+		return err
+	}
+	area := pmo.OID(areaRaw).Offset()
+	ver, err := p.Read8(w.logOff.Offset() + 8)
+	if err != nil {
+		return err
+	}
+	nrecs := uint64(w.keys) * 8 * 8 / 24
+	for r := uint64(0); r < nrecs; r++ {
+		off := area + r*24
+		key, err := p.Read8(off)
+		if err != nil {
+			return err
+		}
+		if key == 0 {
+			continue
+		}
+		if key > w.keys {
+			return fmt.Errorf("whisper: echo record %d key %d out of range", r, key)
+		}
+		rv, err := p.Read8(off + 8)
+		if err != nil {
+			return err
+		}
+		if rv > ver+1 {
+			return fmt.Errorf("whisper: echo record %d version %d ahead of counter %d", r, rv, ver)
+		}
+	}
+	return w.h.Audit(p, w.keys, func(key, v uint64) error {
+		ro := pmo.OID(v).Offset()
+		if ro < area || ro >= area+nrecs*24 || (ro-area)%24 != 0 {
+			return fmt.Errorf("whisper: echo index key %d points at bad record offset %d", key, ro)
+		}
+		return nil
+	})
+}
+
 // Op implements Workload.
 func (w *Echo) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 	key := uint64(rng.Int63n(int64(w.keys))) + 1
@@ -264,6 +350,10 @@ func (w *Echo) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 	if err := ctx.Store(verCell, ver); err != nil {
 		return err
 	}
+	// The counter and record are plain (unlogged) stores: issue their
+	// writebacks so the fences inside the index update drain them —
+	// semantic only, cycle costs were charged by the stores.
+	w.p.Flush(verCell.Offset(), 8)
 	areaRaw, err := ctx.Load(w.logOff)
 	if err != nil {
 		return err
@@ -281,6 +371,7 @@ func (w *Echo) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 	if err := ctx.Store(pmo.MakeOID(w.p.ID, rec.Offset()+16), rng.Uint64()); err != nil {
 		return err
 	}
+	w.p.Flush(rec.Offset(), 24)
 	return w.h.Put(ctx, key, uint64(rec))
 }
 
@@ -289,9 +380,10 @@ func (w *Echo) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 // Redis models a Redis-like store: GET-heavy traffic with SET and
 // list-push updates.
 type Redis struct {
-	p    *pmo.PMO
-	h    *Hash
-	keys uint64
+	p      *pmo.PMO
+	h      *Hash
+	logOID pmo.OID
+	keys   uint64
 }
 
 // NewRedis returns the benchmark.
@@ -312,11 +404,11 @@ func (w *Redis) Profile() Profile {
 
 // Setup implements Workload.
 func (w *Redis) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p = p
+	w.p, w.logOID = p, logOID
 	w.h, err = NewHash(p, 1<<17, log)
 	if err != nil {
 		return err
@@ -328,6 +420,14 @@ func (w *Redis) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) err
 		}
 	}
 	return nil
+}
+
+// LogOID implements Recoverable.
+func (w *Redis) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable.
+func (w *Redis) CheckInvariants(p *pmo.PMO) error {
+	return w.h.Audit(p, w.keys, nil)
 }
 
 // Op implements Workload.
@@ -344,10 +444,11 @@ func (w *Redis) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 
 // YCSB models workload B (95% reads, 5% updates) with a Zipf-like skew.
 type YCSB struct {
-	p    *pmo.PMO
-	h    *Hash
-	zipf *rand.Zipf
-	keys uint64
+	p      *pmo.PMO
+	h      *Hash
+	zipf   *rand.Zipf
+	logOID pmo.OID
+	keys   uint64
 }
 
 // NewYCSB returns the benchmark.
@@ -366,11 +467,11 @@ func (w *YCSB) Profile() Profile {
 
 // Setup implements Workload.
 func (w *YCSB) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p = p
+	w.p, w.logOID = p, logOID
 	w.h, err = NewHash(p, 1<<17, log)
 	if err != nil {
 		return err
@@ -383,6 +484,14 @@ func (w *YCSB) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) erro
 		}
 	}
 	return nil
+}
+
+// LogOID implements Recoverable.
+func (w *YCSB) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable.
+func (w *YCSB) CheckInvariants(p *pmo.PMO) error {
+	return w.h.Audit(p, w.keys, nil)
 }
 
 // Op implements Workload.
@@ -403,6 +512,7 @@ func (w *YCSB) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 type TPCC struct {
 	p         *pmo.PMO
 	log       *txn.Log
+	logOID    pmo.OID
 	districts pmo.OID // [nextOID x 10]
 	orders    pmo.OID // ring of order records
 	lines     pmo.OID // ring of order lines
@@ -425,11 +535,11 @@ func (w *TPCC) Profile() Profile {
 
 // Setup implements Workload.
 func (w *TPCC) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) error {
-	p, log, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
+	p, log, logOID, err := setupCommon(mgr, "whisper."+w.Name(), ctx)
 	if err != nil {
 		return err
 	}
-	w.p, w.log = p, log
+	w.p, w.log, w.logOID = p, log, logOID
 	if w.districts, err = p.Alloc(10 * 8); err != nil {
 		return err
 	}
@@ -438,6 +548,43 @@ func (w *TPCC) Setup(mgr *pmo.Manager, ctx *core.ThreadCtx, rng *rand.Rand) erro
 	}
 	if w.lines, err = p.Alloc(w.nOrders * 15 * 16); err != nil {
 		return err
+	}
+	return nil
+}
+
+// LogOID implements Recoverable.
+func (w *TPCC) LogOID() pmo.OID { return w.logOID }
+
+// CheckInvariants implements Recoverable: every order record and order
+// line stays inside its write domain — a torn multi-word insert would
+// leave the counter pointing at a slot whose fields never held such
+// values.
+func (w *TPCC) CheckInvariants(p *pmo.PMO) error {
+	for i := uint64(0); i < w.nOrders; i++ {
+		off := w.orders.Offset() + i*24
+		district, err := p.Read8(off + 8)
+		if err != nil {
+			return err
+		}
+		if district >= 10 {
+			return fmt.Errorf("whisper: tpcc order %d district %d out of range", i, district)
+		}
+		cust, err := p.Read8(off + 16)
+		if err != nil {
+			return err
+		}
+		if cust >= 3000 {
+			return fmt.Errorf("whisper: tpcc order %d customer %d out of range", i, cust)
+		}
+	}
+	for j := uint64(0); j < w.nOrders*15; j++ {
+		lineNo, err := p.Read8(w.lines.Offset() + j*16 + 8)
+		if err != nil {
+			return err
+		}
+		if lineNo >= 15 {
+			return fmt.Errorf("whisper: tpcc line %d number %d out of range", j, lineNo)
+		}
 	}
 	return nil
 }
@@ -472,6 +619,10 @@ func (w *TPCC) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 			return err
 		}
 	}
+	// Order record and lines are plain stores: issue their writebacks so
+	// Commit's fence drains them before truncating the log (semantic
+	// only; the stores charged their own cycle costs).
+	w.p.Flush(rec.Offset(), 24)
 	// Insert 5-15 order lines.
 	n := 5 + rng.Intn(11)
 	for l := 0; l < n; l++ {
@@ -484,6 +635,7 @@ func (w *TPCC) Op(ctx *core.ThreadCtx, rng *rand.Rand) error {
 			w.log.Abort()
 			return err
 		}
+		w.p.Flush(lo.Offset(), 16)
 	}
 	return w.log.Commit()
 }

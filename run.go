@@ -54,6 +54,8 @@ type Grid struct {
 	Semantics *SemanticsStudyResult `json:"semantics,omitempty"`
 	// Frontier holds the EW sweep rows.
 	Frontier []EWSweepRow `json:"frontier,omitempty"`
+	// Crash holds the crash-consistency fault-injection matrix.
+	Crash []CrashRow `json:"crash,omitempty"`
 }
 
 // JSON renders the grid as indented JSON.
@@ -143,6 +145,12 @@ var experimentTable = []experiment{
 		cells:    func(s ExperimentSpec) []runner.Cell { return table6Cells(s.Opts) },
 		assemble: assembleTable6,
 		format:   func(g *Grid) string { return FormatTable6(*g.Scenarios) },
+	},
+	{
+		name:     "crash",
+		cells:    func(s ExperimentSpec) []runner.Cell { return crashCells("crash", s.Opts) },
+		assemble: assembleCrash,
+		format:   func(g *Grid) string { return FormatCrash(g.Crash) },
 	},
 }
 

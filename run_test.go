@@ -51,7 +51,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestExperimentsListsEveryRegisteredName(t *testing.T) {
 	names := Experiments()
 	want := []string{"fig8", "table3", "fig9", "table4", "fig10", "fig11",
-		"table5", "semantics", "ewsweep", "table6"}
+		"table5", "semantics", "ewsweep", "table6", "crash"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -177,5 +177,43 @@ func TestParallelQuantumOptionAndJoinedErrors(t *testing.T) {
 	msg := err.Error()
 	if !strings.Contains(msg, "thread 1") || !strings.Contains(msg, "thread 2") {
 		t.Fatalf("joined error lost a thread: %v", msg)
+	}
+}
+
+// TestCrashMatrixRecoversAndIsDeterministic runs the crash-consistency
+// experiment at test scale and checks its contract: every cell injects
+// points, every image recovers, and the parallel grid marshals to
+// exactly the serial bytes.
+func TestCrashMatrixRecoversAndIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whisper setups are heavy; covered by the crash package's short tests")
+	}
+	opts := ExpOpts{Ops: 300, Seed: 3} // crashOps clamps this to its floor
+	serial, err := Run(ExperimentSpec{Name: "crash", Opts: opts, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ExperimentSpec{Name: "crash", Opts: opts, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := serial.JSON()
+	pj, _ := par.JSON()
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("parallel crash grid differs from serial:\n--- serial\n%s\n--- parallel\n%s", sj, pj)
+	}
+	if len(serial.Crash) != 14 { // (txnpairs + 6 WHISPER) x 2 policies
+		t.Fatalf("rows = %d, want 14", len(serial.Crash))
+	}
+	for _, r := range serial.Crash {
+		if r.Points == 0 {
+			t.Errorf("%s/%s: no crash points injected", r.Prog, r.Policy)
+		}
+		if r.Failures != 0 {
+			t.Errorf("%s/%s: %d of %d images failed recovery", r.Prog, r.Policy, r.Failures, r.Points)
+		}
+	}
+	if !strings.Contains(serial.Format(), "Crash matrix") {
+		t.Fatal("Format did not render the crash table")
 	}
 }
