@@ -6,9 +6,13 @@
 //	terpbench -exp table3 -ops 20000        # one experiment, smaller run
 //	terpbench -exp fig11 -scale 2           # bigger SPEC kernels
 //	terpbench -exp all -json results.json   # structured grids for trending
+//	terpbench -exp table3 -trace out.json   # Perfetto/Chrome trace export
+//	terpbench -exp table3 -metrics          # per-cell counter tables
 //
 // Each experiment decomposes into independent simulation cells that run
 // on a worker pool; output is bit-identical at every -parallel value.
+// Traces and metrics are keyed by simulated cycles, never wall clock, so
+// they are byte-identical at every -parallel value too.
 //
 // Experiments: fig8, table3, fig9, table4, fig10, fig11, table5,
 // semantics, ewsweep, table6, crash.
@@ -27,8 +31,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	terp "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,7 +44,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment-cell workers (1 = serial)")
 	jsonPath := flag.String("json", "", "also write the structured result grids as JSON to this file")
-	progress := flag.Bool("progress", false, "print live cell progress to stderr")
+	progress := flag.Bool("progress", false, "print live cell progress (with cells/sec and ETA) to stderr")
+	tracePath := flag.String("trace", "", "record per-cell event traces and write Chrome trace JSON (Perfetto-loadable) to this file")
+	metrics := flag.Bool("metrics", false, "collect per-cell metrics; print tables and an account rollup")
 	flag.Parse()
 
 	if *exp != "all" {
@@ -55,7 +63,10 @@ func main() {
 		}
 	}
 
+	ocfg := obs.Config{Trace: *tracePath != "", Metrics: *metrics}
+
 	var grids []*terp.Grid
+	var traces []obs.CellTrace
 	for _, name := range terp.Experiments() {
 		if *exp != "all" && *exp != name {
 			continue
@@ -64,10 +75,24 @@ func main() {
 			Name:     name,
 			Opts:     terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed},
 			Parallel: *parallel,
+			Obs:      ocfg,
 		}
 		if *progress {
+			// Rate and ETA derive from wall clock, but only ever reach
+			// stderr — no persisted output contains wall time.
+			start := time.Now()
 			spec.Progress = func(done, total int, cell string) {
-				fmt.Fprintf(os.Stderr, "\r%-60s [%d/%d]", cell, done, total)
+				elapsed := time.Since(start).Seconds()
+				var rate, eta string
+				if elapsed > 0 && done > 0 {
+					perSec := float64(done) / elapsed
+					rate = fmt.Sprintf(" %.1f cells/s", perSec)
+					if done < total && perSec > 0 {
+						left := time.Duration(float64(total-done) / perSec * float64(time.Second))
+						eta = " ETA " + left.Round(time.Second).String()
+					}
+				}
+				fmt.Fprintf(os.Stderr, "\r%-60s [%d/%d]%s%s   ", cell, done, total, rate, eta)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
@@ -76,7 +101,11 @@ func main() {
 		g, err := terp.Run(spec)
 		check(err)
 		fmt.Println(g.Format())
+		if *metrics && g.Obs != nil {
+			fmt.Println(formatObs(g))
+		}
 		grids = append(grids, g)
+		traces = append(traces, g.Traces()...)
 	}
 
 	if *jsonPath != "" {
@@ -85,6 +114,39 @@ func main() {
 		check(os.WriteFile(*jsonPath, append(buf, '\n'), 0o644))
 		fmt.Fprintf(os.Stderr, "terpbench: wrote %d grid(s) to %s\n", len(grids), *jsonPath)
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		check(err)
+		check(obs.WriteChromeTrace(f, traces))
+		check(f.Close())
+		n := 0
+		for _, t := range traces {
+			n += len(t.Events)
+		}
+		fmt.Fprintf(os.Stderr, "terpbench: wrote %d trace event(s) from %d cell(s) to %s\n",
+			n, len(traces), *tracePath)
+	}
+}
+
+// formatObs renders an experiment's metrics: the merged totals with a
+// cycle-account rollup, then each cell's counter table.
+func formatObs(g *terp.Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s metrics\n", g.Name)
+	if g.Obs.Totals != nil {
+		b.WriteString("cycle rollup (all cells):\n")
+		b.WriteString(obs.FormatRollup(g.Obs.Totals, "sim/cycles"))
+		b.WriteString("totals:\n")
+		b.WriteString(obs.FormatMetrics(g.Obs.Totals))
+	}
+	for _, c := range g.Obs.Cells {
+		fmt.Fprintf(&b, "cell %s:\n", c.Cell)
+		b.WriteString(obs.FormatMetrics(c.Metrics))
+		if c.TraceEvents > 0 {
+			fmt.Fprintf(&b, "  trace: %d events (%d dropped)\n", c.TraceEvents, c.TraceDropped)
+		}
+	}
+	return b.String()
 }
 
 func check(err error) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/merr"
 	"repro/internal/mpk"
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/paging"
 	"repro/internal/params"
 	"repro/internal/pmo"
@@ -65,6 +66,12 @@ type Runtime struct {
 	threads []*ThreadCtx
 	trace   *tracer
 	user    pmo.Principal
+
+	// Observability (nil / empty when off; see EnableObs).
+	obs         *obs.Recorder
+	obsCfg      obs.Config
+	metrics     *obs.Snapshot
+	chargeHists []*obs.Hist
 
 	// Counts accumulates the operation counters.
 	Counts Counters
@@ -135,6 +142,9 @@ func (r *Runtime) checkMode(p *pmo.PMO, perm paging.Perm) error {
 func (r *Runtime) AttachMachine(m *sim.Machine) {
 	r.machine = m
 	m.SetTick(func(now uint64) { r.sweep(now, nil) })
+	if r.obs != nil {
+		r.wireSwitchHook(m)
+	}
 }
 
 // Manager returns the PMO manager the runtime operates on.
@@ -165,6 +175,7 @@ func (r *Runtime) NewThread(t *sim.Thread) *ThreadCtx {
 		tlb: paging.NewTLB(),
 		l1:  nvm.NewCache(params.L1DSize, params.L1DWays, params.LineSize),
 	}
+	r.wireThreadObs(c)
 	r.threads = append(r.threads, c)
 	return c
 }
@@ -177,6 +188,7 @@ type ThreadCtx struct {
 	regs mpk.Registers
 	tlb  *paging.TLB
 	l1   *nvm.Cache
+	obs  *obs.Track // nil when tracing is off
 }
 
 // Thread returns the underlying simulated thread.
@@ -377,7 +389,7 @@ func (c *ThreadCtx) attachMM(p *pmo.PMO, perm paging.Perm) error {
 	if act != semantics.ActRealAttach {
 		return fmt.Errorf("MM attach %q: unexpected action %v", p.Name, act)
 	}
-	c.th.DirectCharge(sim.Attach, params.AttachSyscall)
+	c.syscall(sim.Attach, params.AttachSyscall, "attach-sys")
 	if err := r.realAttach(p, perm, c.th.Clock); err != nil {
 		return err
 	}
@@ -395,7 +407,7 @@ func (c *ThreadCtx) detachMM(p *pmo.PMO) error {
 	if err != nil {
 		return fmt.Errorf("MM detach %q: %w", p.Name, err)
 	}
-	c.th.DirectCharge(sim.Detach, params.DetachSyscall+params.TLBInvalidate)
+	c.syscall(sim.Detach, params.DetachSyscall+params.TLBInvalidate, "detach-sys")
 	if err := r.realDetach(p, c.th.Clock); err != nil {
 		return err
 	}
@@ -432,7 +444,7 @@ func (c *ThreadCtx) condAttach(p *pmo.PMO, perm paging.Perm) error {
 			c.th.Charge(sim.Other, 200)
 			c.th.Yield()
 		}
-		c.th.DirectCharge(sim.Attach, params.AttachSyscall)
+		c.syscall(sim.Attach, params.AttachSyscall, "attach-sys")
 		if err := r.realAttach(p, perm, c.th.Clock); err != nil {
 			return err
 		}
@@ -468,7 +480,7 @@ func (c *ThreadCtx) condAttach(p *pmo.PMO, perm paging.Perm) error {
 		hwCase := r.cb.CondAttach(p.ID, c.th.Clock)
 		switch hwCase {
 		case terphw.CaseFirstAttach, terphw.CaseOverflow:
-			c.th.DirectCharge(sim.Attach, params.AttachSyscall)
+			c.syscall(sim.Attach, params.AttachSyscall, "attach-sys")
 			if !r.as.Attached(p.ID) {
 				if err := r.realAttach(p, perm, c.th.Clock); err != nil {
 					return err
@@ -488,7 +500,7 @@ func (c *ThreadCtx) condAttach(p *pmo.PMO, perm paging.Perm) error {
 	// TM / +Cond: software path.
 	switch act {
 	case semantics.ActRealAttach:
-		c.th.DirectCharge(sim.Attach, params.AttachSyscall)
+		c.syscall(sim.Attach, params.AttachSyscall, "attach-sys")
 		if err := r.realAttach(p, perm, c.th.Clock); err != nil {
 			return err
 		}
@@ -496,7 +508,7 @@ func (c *ThreadCtx) condAttach(p *pmo.PMO, perm paging.Perm) error {
 	case semantics.ActThreadGrant:
 		if r.Cfg.CondIsSyscall() {
 			// TM: the lowering itself is a system call.
-			c.th.DirectCharge(sim.Attach, params.AttachSyscall)
+			c.syscall(sim.Attach, params.AttachSyscall, "attach-sys")
 			r.Counts.AttachSyscalls++
 		} else {
 			c.th.DirectCharge(sim.Cond, params.SilentCondCost)
@@ -523,7 +535,7 @@ func (c *ThreadCtx) condDetach(p *pmo.PMO) error {
 		if err != nil {
 			return fmt.Errorf("basic detach %q: %w", p.Name, err)
 		}
-		c.th.DirectCharge(sim.Detach, params.DetachSyscall+params.TLBInvalidate)
+		c.syscall(sim.Detach, params.DetachSyscall+params.TLBInvalidate, "detach-sys")
 		if err := r.realDetach(p, c.th.Clock); err != nil {
 			return err
 		}
@@ -553,7 +565,7 @@ func (c *ThreadCtx) condDetach(p *pmo.PMO) error {
 		hwCase := r.cb.CondDetach(p.ID, c.th.Clock)
 		switch hwCase {
 		case terphw.CaseFullDetach:
-			c.th.DirectCharge(sim.Detach, params.DetachSyscall+params.TLBInvalidate)
+			c.syscall(sim.Detach, params.DetachSyscall+params.TLBInvalidate, "detach-sys")
 			if r.as.Attached(p.ID) {
 				if err := r.realDetach(p, c.th.Clock); err != nil {
 					return err
@@ -566,7 +578,7 @@ func (c *ThreadCtx) condDetach(p *pmo.PMO) error {
 			r.Counts.SilentOps++
 			semantics.CommitDetach(st, c.th.ID, c.th.Clock, semantics.ActThreadRevoke)
 		case terphw.CaseOverflow:
-			c.th.DirectCharge(sim.Detach, params.DetachSyscall+params.TLBInvalidate)
+			c.syscall(sim.Detach, params.DetachSyscall+params.TLBInvalidate, "detach-sys")
 			if r.as.Attached(p.ID) && !st.OtherHolders(c.th.ID) {
 				if err := r.realDetach(p, c.th.Clock); err != nil {
 					return err
@@ -589,14 +601,14 @@ func (c *ThreadCtx) condDetach(p *pmo.PMO) error {
 	}
 	switch act {
 	case semantics.ActRealDetach:
-		c.th.DirectCharge(sim.Detach, params.DetachSyscall+params.TLBInvalidate)
+		c.syscall(sim.Detach, params.DetachSyscall+params.TLBInvalidate, "detach-sys")
 		if err := r.realDetach(p, c.th.Clock); err != nil {
 			return err
 		}
 		r.Counts.DetachSyscalls++
 	case semantics.ActThreadRevoke:
 		if r.Cfg.CondIsSyscall() {
-			c.th.DirectCharge(sim.Detach, params.DetachSyscall)
+			c.syscall(sim.Detach, params.DetachSyscall, "detach-sys")
 			r.Counts.DetachSyscalls++
 		} else {
 			c.th.DirectCharge(sim.Cond, params.SilentCondCost)
@@ -665,7 +677,7 @@ func (c *ThreadCtx) access(o pmo.OID, want paging.Perm, n int) (p *pmo.PMO, va u
 	if r.Cfg.Scheme != params.Unprotected {
 		// Permission matrix check (1 cycle, after TLB).
 		c.th.DirectCharge(sim.Other, params.PermMatrixCheck)
-		if _, ok := r.matrix.Check(va, want); !ok {
+		if _, ok := r.matrix.CheckAt(va, want, c.th.Clock); !ok {
 			r.Counts.Faults++
 			r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
 			return nil, 0, &Fault{Kind: PermFault, OID: o, Want: want, Thread: c.th.ID}
@@ -836,7 +848,7 @@ func (c *ThreadCtx) resolveVA(va uint64, want paging.Perm) (*pmo.PMO, uint64, er
 	c.th.Charge(sim.Base, c.tlb.Lookup(va))
 	if r.Cfg.Scheme != params.Unprotected {
 		c.th.Charge(sim.Other, params.PermMatrixCheck)
-		if _, ok := r.matrix.Check(va, want); !ok {
+		if _, ok := r.matrix.CheckAt(va, want, c.th.Clock); !ok {
 			r.Counts.Faults++
 			return nil, 0, &Fault{Kind: PermFault, Want: want, Thread: c.th.ID}
 		}

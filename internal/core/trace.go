@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -105,8 +106,13 @@ func (r *Runtime) TraceEvents() ([]TraceEvent, uint64) {
 	return out, t.total
 }
 
-// emit records one event (no-op without EnableTrace).
+// emit records one event (no-op without EnableTrace/EnableObs). The
+// protection-event thread convention (-1 = hardware) matches obs.HWThread,
+// so events mirror directly onto the obs tracks.
 func (r *Runtime) emit(time uint64, thread int, pmoID uint32, kind TraceKind) {
+	if r.obs != nil {
+		r.obs.Track(thread).Instant(time, obs.CatCore, kind.String(), int64(pmoID))
+	}
 	t := r.trace
 	if t == nil {
 		return

@@ -11,6 +11,8 @@ package expo
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Series accumulates window lengths without storing each one.
@@ -51,6 +53,18 @@ type Tracker struct {
 	ewOpen  map[uint32]uint64 // PMO -> open time
 	tews    map[uint32]*Series
 	tewOpen map[tewKey]uint64
+
+	// Obs, when set, records every window transition as async span
+	// events: EWs on the hardware track, TEWs on the owning thread's
+	// track. Async spans may overlap, which Chrome sync spans cannot.
+	Obs *obs.Recorder
+}
+
+// tewArg pairs the async begin/end of one thread's hold on one PMO; the
+// thread is folded into the id because two threads may hold the same PMO
+// concurrently.
+func tewArg(th int, pmo uint32) int64 {
+	return int64(pmo) | int64(th+1)<<32
 }
 
 // NewTracker creates an empty tracker.
@@ -69,6 +83,7 @@ func (t *Tracker) EWOpen(pmo uint32, now uint64) {
 		return // already open; idempotent
 	}
 	t.ewOpen[pmo] = now
+	t.Obs.Track(obs.HWThread).AsyncBegin(now, obs.CatExpo, "ew", int64(pmo))
 }
 
 // EWClose records a real detach of the PMO at time now.
@@ -79,6 +94,7 @@ func (t *Tracker) EWClose(pmo uint32, now uint64) {
 	}
 	delete(t.ewOpen, pmo)
 	t.series(t.ews, pmo).add(now - start)
+	t.Obs.Track(obs.HWThread).AsyncEnd(now, obs.CatExpo, "ew", int64(pmo))
 }
 
 // EWRandomized records a space-layout randomization of an attached PMO:
@@ -91,6 +107,11 @@ func (t *Tracker) EWRandomized(pmo uint32, now uint64) {
 	}
 	t.series(t.ews, pmo).add(now - start)
 	t.ewOpen[pmo] = now
+	// The window restarts at the new location: one async span ends and
+	// another begins at the same cycle.
+	hw := t.Obs.Track(obs.HWThread)
+	hw.AsyncEnd(now, obs.CatExpo, "ew", int64(pmo))
+	hw.AsyncBegin(now, obs.CatExpo, "ew", int64(pmo))
 }
 
 // TEWOpen records thread th gaining access permission to the PMO.
@@ -100,6 +121,7 @@ func (t *Tracker) TEWOpen(th int, pmo uint32, now uint64) {
 		return
 	}
 	t.tewOpen[k] = now
+	t.Obs.Track(th).AsyncBegin(now, obs.CatExpo, "tew", tewArg(th, pmo))
 }
 
 // TEWClose records thread th losing access permission to the PMO.
@@ -111,18 +133,50 @@ func (t *Tracker) TEWClose(th int, pmo uint32, now uint64) {
 	}
 	delete(t.tewOpen, k)
 	t.series(t.tews, pmo).add(now - start)
+	t.Obs.Track(th).AsyncEnd(now, obs.CatExpo, "tew", tewArg(th, pmo))
 }
 
-// Finish closes every window still open at end-of-run time now.
+// Finish closes every window still open at end-of-run time now. Open
+// windows are drained in sorted key order so the emitted close events
+// are deterministic (map iteration order is not).
 func (t *Tracker) Finish(now uint64) {
-	for pmo, start := range t.ewOpen {
-		t.series(t.ews, pmo).add(now - start)
+	ewKeys := make([]uint32, 0, len(t.ewOpen))
+	for pmo := range t.ewOpen {
+		ewKeys = append(ewKeys, pmo)
+	}
+	sort.Slice(ewKeys, func(i, j int) bool { return ewKeys[i] < ewKeys[j] })
+	for _, pmo := range ewKeys {
+		t.series(t.ews, pmo).add(now - t.ewOpen[pmo])
 		delete(t.ewOpen, pmo)
+		t.Obs.Track(obs.HWThread).AsyncEnd(now, obs.CatExpo, "ew", int64(pmo))
 	}
-	for k, start := range t.tewOpen {
-		t.series(t.tews, k.pmo).add(now - start)
+	tewKeys := make([]tewKey, 0, len(t.tewOpen))
+	for k := range t.tewOpen {
+		tewKeys = append(tewKeys, k)
+	}
+	sort.Slice(tewKeys, func(i, j int) bool {
+		if tewKeys[i].thread != tewKeys[j].thread {
+			return tewKeys[i].thread < tewKeys[j].thread
+		}
+		return tewKeys[i].pmo < tewKeys[j].pmo
+	})
+	for _, k := range tewKeys {
+		t.series(t.tews, k.pmo).add(now - t.tewOpen[k])
 		delete(t.tewOpen, k)
+		t.Obs.Track(k.thread).AsyncEnd(now, obs.CatExpo, "tew", tewArg(k.thread, k.pmo))
 	}
+}
+
+// Counts returns the number of closed EW and TEW windows so far (the
+// metrics layer reports them as counters without needing a total time).
+func (t *Tracker) Counts() (ew, tew uint64) {
+	for _, s := range t.ews {
+		ew += s.Count
+	}
+	for _, s := range t.tews {
+		tew += s.Count
+	}
+	return
 }
 
 func (t *Tracker) series(m map[uint32]*Series, pmo uint32) *Series {

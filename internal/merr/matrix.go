@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/paging"
 )
 
@@ -35,6 +36,10 @@ type Matrix struct {
 
 	// Checks and Denials count permission matrix lookups.
 	Checks, Denials uint64
+
+	// Obs, when set, records denials as instant events on the hardware
+	// track (nil = off).
+	Obs *obs.Track
 }
 
 // NewMatrix creates an empty permission matrix.
@@ -80,8 +85,15 @@ func (m *Matrix) Relocate(pmoID uint32, base uint64) error {
 }
 
 // Check verifies that the access [va, va+len) with rights want is allowed
-// by some matrix entry, returning the matching entry when it is.
+// by some matrix entry, returning the matching entry when it is. Denials
+// are not timestamped; use CheckAt when an event time is available.
 func (m *Matrix) Check(va uint64, want paging.Perm) (*MatrixEntry, bool) {
+	return m.CheckAt(va, want, 0)
+}
+
+// CheckAt is Check with the current simulated cycle, so denials can be
+// recorded as trace events at the right point on the timeline.
+func (m *Matrix) CheckAt(va uint64, want paging.Perm, now uint64) (*MatrixEntry, bool) {
 	m.Checks++
 	for _, e := range m.entries {
 		if va >= e.Base && va < e.Base+e.Size {
@@ -89,10 +101,12 @@ func (m *Matrix) Check(va uint64, want paging.Perm) (*MatrixEntry, bool) {
 				return e, true
 			}
 			m.Denials++
+			m.Obs.Instant(now, obs.CatMERR, "perm-denied", int64(e.PMOID))
 			return e, false
 		}
 	}
 	m.Denials++
+	m.Obs.Instant(now, obs.CatMERR, "perm-denied", -1)
 	return nil, false
 }
 

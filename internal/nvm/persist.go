@@ -3,6 +3,8 @@ package nvm
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // DefaultLineSize is the persistence granularity of the buffer model: one
@@ -72,6 +74,13 @@ type PersistBuffer struct {
 	fences  uint64
 	drained uint64
 	hook    func(Event)
+
+	// Obs, when set, records flush/fence/drain events as instants; NowFn
+	// supplies the issuing thread's simulated clock. Occupancy, when set,
+	// samples the buffered-line count at every persist event.
+	Obs       *obs.Track
+	NowFn     func() uint64
+	Occupancy *obs.Hist
 }
 
 // EnablePersistBuffer layers a persist buffer with the given line size
@@ -220,11 +229,16 @@ func (b *PersistBuffer) flush(off, n uint64) {
 func (b *PersistBuffer) fence() {
 	b.emit(FenceEvent)
 	b.fences++
+	var n uint64
 	for ln, st := range b.pending {
 		if st.flushed {
 			delete(b.pending, ln)
 			b.drained++
+			n++
 		}
+	}
+	if n > 0 {
+		b.Obs.Instant(b.now(), obs.CatNVM, "drain", int64(n))
 	}
 }
 
@@ -232,7 +246,20 @@ func (b *PersistBuffer) emit(k EventKind) {
 	if b.hook != nil {
 		b.hook(Event{Kind: k, Index: b.events})
 	}
+	if b.Occupancy != nil {
+		b.Occupancy.Observe(uint64(len(b.pending)))
+	}
+	b.Obs.Instant(b.now(), obs.CatNVM, k.String(), int64(len(b.pending)))
 	b.events++
+}
+
+// now returns the issuing thread's simulated clock, or 0 when no clock
+// source is wired (events still order correctly by Seq within a track).
+func (b *PersistBuffer) now() uint64 {
+	if b.NowFn != nil {
+		return b.NowFn()
+	}
+	return 0
 }
 
 // reset empties the buffer (a power cycle loses the volatile lines).

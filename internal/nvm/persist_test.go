@@ -2,6 +2,8 @@ package nvm
 
 import (
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func img8(t *testing.T, img map[uint64][]byte, off uint64) uint64 {
@@ -214,5 +216,98 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	}
 	if v, _ := d2.Read8(0); v != 0xff {
 		t.Fatalf("restore lost snapshot content: %d", v)
+	}
+}
+
+// TestPersistEventStreamFenceOrdered checks the per-stream ordering
+// contract the crash injector and the observability layer both rely on:
+// event indices are strictly increasing, and every line that becomes
+// durable had its flush issued before the draining fence — no fence may
+// drain a line whose flush appears later in the stream.
+func TestPersistEventStreamFenceOrdered(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	var stream []Event
+	b.SetEventHook(func(e Event) { stream = append(stream, e) })
+
+	// Interleave writes, flushes and fences across three lines.
+	d.Write8(0, 1)
+	d.Flush(0, 8)
+	d.Write8(64, 2)
+	d.Fence() // drains line 0 only; line 1 is dirty and unflushed
+	d.Flush(64, 8)
+	d.Write8(128, 3)
+	d.Flush(128, 8)
+	d.Fence() // drains lines 1 and 2
+
+	last := int64(-1)
+	for i, e := range stream {
+		if int64(e.Index) <= last {
+			t.Fatalf("event %d: index %d not strictly increasing after %d", i, e.Index, last)
+		}
+		last = int64(e.Index)
+	}
+	// Each fence's drains are justified by earlier flushes: replay the
+	// stream counting flushed-not-yet-fenced lines.
+	if b.DrainedLines() != 3 {
+		t.Fatalf("drained = %d, want 3", b.DrainedLines())
+	}
+	kinds := make([]EventKind, len(stream))
+	for i, e := range stream {
+		kinds[i] = e.Kind
+	}
+	want := []EventKind{FlushEvent, FenceEvent, FlushEvent, FlushEvent, FenceEvent}
+	if len(kinds) != len(want) {
+		t.Fatalf("stream = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("stream[%d] = %v, want %v (full: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+// TestPersistBufferObsEvents wires the obs track and occupancy histogram
+// and checks flush/fence/drain instants carry the simulated clock and
+// the pending-line occupancy is sampled per event.
+func TestPersistBufferObsEvents(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	b := d.EnablePersistBuffer(64)
+	rec := obs.NewRecorder(0)
+	var clock uint64
+	b.Obs = rec.Track(obs.HWThread)
+	b.NowFn = func() uint64 { return clock }
+	occ := &obs.Hist{}
+	b.Occupancy = occ
+
+	clock = 10
+	d.Write8(0, 1)
+	d.Flush(0, 8)
+	clock = 20
+	d.Fence()
+
+	ev := rec.Events()
+	var names []string
+	for _, e := range ev {
+		names = append(names, e.Name)
+	}
+	want := []string{"flush", "fence", "drain"}
+	if len(names) != len(want) {
+		t.Fatalf("obs events = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("obs events = %v, want %v", names, want)
+		}
+	}
+	if ev[0].TS != 10 || ev[1].TS != 20 || ev[2].TS != 20 {
+		t.Fatalf("timestamps = %d %d %d", ev[0].TS, ev[1].TS, ev[2].TS)
+	}
+	if ev[2].Arg != 1 {
+		t.Fatalf("drain count = %d, want 1", ev[2].Arg)
+	}
+	// Occupancy sampled at both persist events: 1 pending line each time.
+	if occ.Count != 2 || occ.Max != 1 {
+		t.Fatalf("occupancy hist: count=%d max=%d", occ.Count, occ.Max)
 	}
 }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/params"
+)
+
+// chromeEvent is one Chrome-trace / Perfetto JSON event. Field order is
+// fixed by the struct so the exported bytes are deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	ID   *int64            `json:"id,omitempty"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the Chrome trace format, which
+// both chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the cells' event streams as Chrome trace JSON
+// (loadable in Perfetto / chrome://tracing). Each cell becomes one
+// process (pid = enumeration index) and each simulated thread one track
+// within it; timestamps are simulated cycles converted to microseconds,
+// so the output is byte-identical across hosts and worker counts.
+func WriteChromeTrace(w io.Writer, cells []CellTrace) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ns"
+	for pid, cell := range cells {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": cell.Name},
+		})
+		threads := map[int]bool{}
+		for _, e := range cell.Events {
+			if !threads[e.Thread] {
+				threads[e.Thread] = true
+				name := fmt.Sprintf("t%d", e.Thread)
+				if e.Thread == HWThread {
+					name = "hw"
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Cat: "__metadata", Ph: "M",
+					Pid: pid, Tid: e.Thread + 1,
+					Args: map[string]string{"name": name},
+				})
+			}
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Cat.String(),
+				TS:   float64(e.TS) / params.CyclesPerMicro,
+				Pid:  pid,
+				Tid:  e.Thread + 1,
+			}
+			switch e.Type {
+			case Begin:
+				ce.Ph = "B"
+			case End:
+				ce.Ph = "E"
+			case AsyncBegin:
+				ce.Ph = "b"
+				id := e.Arg
+				ce.ID = &id
+			case AsyncEnd:
+				ce.Ph = "e"
+				id := e.Arg
+				ce.ID = &id
+			case Instant:
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			if e.Type != AsyncBegin && e.Type != AsyncEnd {
+				ce.Args = map[string]string{"arg": itoa64(e.Arg)}
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+func itoa64(v int64) string {
+	if v < 0 {
+		return "-" + itoa(uint64(-v))
+	}
+	return itoa(uint64(v))
+}
+
+// FormatMetrics renders a snapshot as an aligned two-column counter
+// table followed by histogram summaries.
+func FormatMetrics(s *Snapshot) string {
+	if s == nil {
+		return "(no metrics)\n"
+	}
+	var b strings.Builder
+	width := 0
+	for _, name := range s.Names() {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "  %-*s %12d\n", width, name, s.Counters[name])
+	}
+	for _, name := range s.HistNames() {
+		h := s.Hists[name]
+		fmt.Fprintf(&b, "  %s: n=%d mean=%.1f max=%d\n", name, h.Count, h.Mean(), h.Max)
+	}
+	return b.String()
+}
+
+// rollupNode is one level of the flamegraph-style rollup tree.
+type rollupNode struct {
+	total    uint64
+	children map[string]*rollupNode
+}
+
+func (n *rollupNode) child(name string) *rollupNode {
+	if n.children == nil {
+		n.children = make(map[string]*rollupNode)
+	}
+	c := n.children[name]
+	if c == nil {
+		c = &rollupNode{}
+		n.children[name] = c
+	}
+	return c
+}
+
+// FormatRollup renders the counters whose names start with prefix as a
+// plain-text flamegraph-style rollup: slash-separated name segments form
+// a tree, siblings sort by weight, and each line shows its share of the
+// root with a proportional bar. With prefix "sim/cycles" this is the
+// per-Account rollup of one run's cycle budget.
+func FormatRollup(s *Snapshot, prefix string) string {
+	root := &rollupNode{}
+	for name, v := range s.Counters {
+		if prefix != "" && !strings.HasPrefix(name, prefix+"/") && name != prefix {
+			continue
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(name, prefix), "/")
+		n := root
+		n.total += v
+		if rest != "" {
+			for _, seg := range strings.Split(rest, "/") {
+				n = n.child(seg)
+				n.total += v
+			}
+		}
+	}
+	if root.total == 0 {
+		return fmt.Sprintf("  (no %q counters)\n", prefix)
+	}
+	var b strings.Builder
+	label := prefix
+	if label == "" {
+		label = "all"
+	}
+	fmt.Fprintf(&b, "  %-28s %14d 100.0%% %s\n", label, root.total, bar(1, 40))
+	writeRollup(&b, root, root.total, "  ")
+	return b.String()
+}
+
+func writeRollup(b *strings.Builder, n *rollupNode, rootTotal uint64, indent string) {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	// Heaviest first; ties break by name for determinism.
+	sort.Slice(names, func(i, j int) bool {
+		ci, cj := n.children[names[i]], n.children[names[j]]
+		if ci.total != cj.total {
+			return ci.total > cj.total
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		c := n.children[name]
+		frac := float64(c.total) / float64(rootTotal)
+		fmt.Fprintf(b, "%s%-*s %14d %5.1f%% %s\n",
+			indent+"  ", 28-len(indent), name, c.total, 100*frac, bar(frac, 40))
+		writeRollup(b, c, rootTotal, indent+"  ")
+	}
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -249,6 +250,15 @@ type TLB struct {
 
 	// L1Hits, L2Hits, Misses count lookups by where they were served.
 	L1Hits, L2Hits, Misses uint64
+
+	// Flushes counts Invalidate calls (attach/detach/randomization
+	// shootdowns).
+	Flushes uint64
+
+	// Obs, when set, records full-miss page walks as instant events; Now
+	// supplies the owning thread's simulated clock for those events.
+	Obs *obs.Track
+	Now func() uint64
 }
 
 // NewTLB builds the Table II TLB pair.
@@ -271,12 +281,16 @@ func (t *TLB) Lookup(va uint64) uint64 {
 		return params.L1TLBLatency + params.L2TLBLatency
 	}
 	t.Misses++
+	if t.Obs != nil && t.Now != nil {
+		t.Obs.Instant(t.Now(), obs.CatPaging, "tlb-walk", int64(va>>params.PageShift))
+	}
 	return params.L1TLBLatency + params.L2TLBLatency + params.TLBMissPenalty
 }
 
 // Invalidate flushes both TLB levels (a shootdown; the cycle cost is
 // charged by the caller from params.TLBInvalidate).
 func (t *TLB) Invalidate() {
+	t.Flushes++
 	t.l1.InvalidateAll()
 	t.l2.InvalidateAll()
 }

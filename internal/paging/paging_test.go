@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -256,4 +257,68 @@ func anyKey(r *rand.Rand, m map[uint32]uint64) uint32 {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys[r.Intn(len(keys))]
+}
+
+// TestTLBCountersAcrossFlushPaths walks the TLB through the hit/miss/
+// flush lifecycle the attach/detach paths exercise: warm entries hit L1,
+// an L1-evicted entry hits L2, a shootdown (Invalidate, as issued by
+// detach and randomization) bumps Flushes and forces full walks again.
+func TestTLBCountersAcrossFlushPaths(t *testing.T) {
+	tlb := NewTLB()
+	// Cold walk, then a warm L1 hit.
+	tlb.Lookup(0x1000)
+	tlb.Lookup(0x1000)
+	if tlb.Misses != 1 || tlb.L1Hits != 1 || tlb.L2Hits != 0 {
+		t.Fatalf("after warmup: l1=%d l2=%d miss=%d", tlb.L1Hits, tlb.L2Hits, tlb.Misses)
+	}
+	// Evict page 1 from L1 (64 entries) but not L2; revisiting hits L2.
+	for p := uint64(2); p < 2+512; p++ {
+		tlb.Lookup(p << params.PageShift)
+	}
+	tlb.Lookup(0x1000)
+	if tlb.L2Hits == 0 {
+		t.Fatalf("expected an L2 hit, counters: l1=%d l2=%d miss=%d", tlb.L1Hits, tlb.L2Hits, tlb.Misses)
+	}
+	// Detach-path shootdown: both levels flushed, next lookups walk.
+	missesBefore := tlb.Misses
+	tlb.Invalidate()
+	if tlb.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", tlb.Flushes)
+	}
+	tlb.Lookup(0x1000)
+	tlb.Lookup(0x2000)
+	if tlb.Misses != missesBefore+2 {
+		t.Fatalf("post-flush lookups did not walk: %d -> %d", missesBefore, tlb.Misses)
+	}
+	tlb.Invalidate()
+	if tlb.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2", tlb.Flushes)
+	}
+}
+
+// TestTLBObsWalkEvents wires an obs track and checks that exactly the
+// full misses emit "tlb-walk" instants stamped with the supplied clock
+// and the missing page number.
+func TestTLBObsWalkEvents(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	tlb := NewTLB()
+	var clock uint64
+	tlb.Obs = rec.Track(0)
+	tlb.Now = func() uint64 { return clock }
+	clock = 100
+	tlb.Lookup(5 << params.PageShift) // miss
+	clock = 200
+	tlb.Lookup(5 << params.PageShift) // L1 hit: no event
+	clock = 300
+	tlb.Lookup(9 << params.PageShift) // miss
+	ev := rec.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2 (misses only): %v", len(ev), ev)
+	}
+	if ev[0].TS != 100 || ev[0].Name != "tlb-walk" || ev[0].Arg != 5 {
+		t.Fatalf("first walk event = %+v", ev[0])
+	}
+	if ev[1].TS != 300 || ev[1].Arg != 9 {
+		t.Fatalf("second walk event = %+v", ev[1])
+	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/speckit"
 	"repro/internal/whisper"
@@ -113,6 +114,10 @@ type CellResult struct {
 	Result core.Result
 	// Crash is the fault-injection report (Crash cells only).
 	Crash *crash.Report
+	// Obs is the cell's observability payload (nil when collection is
+	// off). Because each cell owns its own recorder and snapshot, the
+	// payload is identical at any worker count.
+	Obs *obs.CellObs
 	// Err is the cell's failure, if any.
 	Err error
 }
@@ -132,6 +137,8 @@ type Options struct {
 	// Cache overrides the compiled-program cache; nil uses the shared
 	// process-wide DefaultCache.
 	Cache *ProgCache
+	// Obs selects per-cell tracing/metrics collection.
+	Obs obs.Config
 }
 
 // Execute runs every cell across the worker pool and returns the results
@@ -168,7 +175,7 @@ func Execute(cells []Cell, opt Options) ([]CellResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := RunCell(cells[i], cache)
+				res, err := RunCellObs(cells[i], cache, opt.Obs)
 				res.Err = err
 				results[i] = res
 				if opt.Progress != nil {
@@ -199,19 +206,51 @@ func Execute(cells []Cell, opt Options) ([]CellResult, error) {
 // populated result (Err is left for the caller to attach). The cache
 // supplies compiled kernel programs for Spec cells; nil uses DefaultCache.
 func RunCell(c Cell, cache *ProgCache) (CellResult, error) {
+	return RunCellObs(c, cache, obs.Config{})
+}
+
+// RunCellObs is RunCell with observability: when ocfg enables tracing or
+// metrics, the cell's runtime is instrumented and the result carries its
+// CellObs payload. The instrumented run charges the same simulated cycles
+// as a plain one — collection only observes, never charges.
+func RunCellObs(c Cell, cache *ProgCache, ocfg obs.Config) (CellResult, error) {
 	if cache == nil {
 		cache = DefaultCache
 	}
 	out := CellResult{Cell: c}
 	cfg := c.Config()
+
+	var rt *core.Runtime
+	var onRuntime func(*core.Runtime)
+	if ocfg.Enabled() {
+		onRuntime = func(r *core.Runtime) {
+			rt = r
+			r.EnableObs(ocfg)
+		}
+	}
+	// snapshot harvests the payload after the run; it tolerates error
+	// paths where no runtime was built.
+	snapshot := func() {
+		if rt == nil {
+			return
+		}
+		out.Obs = &obs.CellObs{Cell: c.Name(), Metrics: rt.ObsSnapshot()}
+		if rec := rt.ObsRecorder(); rec != nil {
+			out.Obs.TraceEvents = rec.Total()
+			out.Obs.TraceDropped = rec.Dropped()
+			out.Obs.Events = rec.Events()
+		}
+	}
+
 	switch c.Kind {
 	case Whisper:
 		mk, err := whisper.ByName(c.Workload)
 		if err != nil {
 			return out, err
 		}
-		res, err := whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops})
+		res, err := whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops, OnRuntime: onRuntime})
 		out.Result = res
+		snapshot()
 		return out, err
 	case Spec:
 		k, err := speckit.ByName(c.Workload)
@@ -224,10 +263,12 @@ func RunCell(c Cell, cache *ProgCache) (CellResult, error) {
 			return out, err
 		}
 		res, err := speckit.RunProgram(cfg, k, prog, speckit.RunOpts{
-			Threads: c.Threads,
-			Scale:   c.Scale,
+			Threads:   c.Threads,
+			Scale:     c.Scale,
+			OnRuntime: onRuntime,
 		})
 		out.Result = res
+		snapshot()
 		return out, err
 	case Crash:
 		rep, err := crash.Run(crash.Spec{
@@ -241,6 +282,18 @@ func RunCell(c Cell, cache *ProgCache) (CellResult, error) {
 			Adversarial: c.Adversarial,
 		})
 		out.Crash = rep
+		if ocfg.Metrics && rep != nil {
+			// Crash cells run outside a core.Runtime; surface the
+			// injector's persist-event counters instead.
+			s := obs.NewSnapshot()
+			s.Add("crash/events", rep.Events)
+			s.Add("crash/fences", rep.Fences)
+			s.Add("crash/candidates", uint64(rep.Candidates))
+			s.Add("crash/points", uint64(len(rep.Points)))
+			s.Add("crash/failures", uint64(rep.Failures))
+			s.Add("crash/undone", uint64(rep.Undone))
+			out.Obs = &obs.CellObs{Cell: c.Name(), Metrics: s}
+		}
 		return out, err
 	default:
 		return out, fmt.Errorf("runner: unknown cell kind %d", c.Kind)

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -71,19 +72,30 @@ func (t *Accounts) Total() uint64 {
 }
 
 // Overhead returns the protection overhead relative to Base time:
-// (total - base) / base. It returns 0 when no base time was recorded.
+// (total - base) / base. With no Base time recorded the ratio is
+// undefined: it returns 0 for a fully empty tally, and NaN when other
+// accounts carry cycles but Base does not — that shape means a
+// miscredited run and must not be folded silently into rollups.
 func (t *Accounts) Overhead() float64 {
 	if t[Base] == 0 {
-		return 0
+		if t.Total() == 0 {
+			return 0
+		}
+		return math.NaN()
 	}
 	return float64(t.Total()-t[Base]) / float64(t[Base])
 }
 
 // Fraction returns account a's share of Base time (the per-component
 // overhead bars of Figures 9-11 are stacked fractions of base time).
+// Like Overhead, it returns NaN when Base is zero but account a is not,
+// and 0 only when both are zero.
 func (t *Accounts) Fraction(a Account) float64 {
 	if t[Base] == 0 {
-		return 0
+		if t[a] == 0 {
+			return 0
+		}
+		return math.NaN()
 	}
 	return float64(t[a]) / float64(t[Base])
 }
@@ -105,6 +117,11 @@ type Thread struct {
 	Clock uint64
 	// Costs is the per-component cycle tally of this thread.
 	Costs Accounts
+
+	// ChargeHook, when set, observes every charge (account and cycle
+	// count) before the clock advances. The observability layer uses it
+	// to build per-account cycle histograms without sim importing it.
+	ChargeHook func(a Account, n uint64)
 
 	machine *Machine
 	// yieldBudget counts cycles charged since the last scheduler yield;
@@ -130,6 +147,9 @@ const maxChargeStep = 2200
 // steps so the scheduler (and the hardware sweep it drives) observes
 // time passing at its real granularity.
 func (t *Thread) Charge(a Account, n uint64) {
+	if t.ChargeHook != nil {
+		t.ChargeHook(a, n)
+	}
 	if t.machine == nil {
 		t.Clock += n
 		t.Costs.Add(a, n)
@@ -188,6 +208,12 @@ type Machine struct {
 	// tick is called with the new global low-water-mark time whenever
 	// it advances; the TERP hardware uses it to run timer sweeps.
 	tick func(now uint64)
+
+	// SwitchHook, when set, observes every context switch: it is called
+	// with the resumed thread's clock and ID each time the scheduler
+	// hands the CPU to a different thread than last time.
+	SwitchHook func(ts uint64, thread int)
+	lastRun    int
 }
 
 // NewMachine creates a scheduler with the given random seed and yield
@@ -201,6 +227,7 @@ func NewMachine(seed int64, quantum uint64) *Machine {
 		Rand:    rand.New(rand.NewSource(seed)),
 		quantum: quantum,
 		park:    make(chan *Thread),
+		lastRun: -1,
 	}
 }
 
@@ -261,6 +288,10 @@ func (m *Machine) Run() uint64 {
 			lastTick = next.Clock
 			m.tick(lastTick)
 		}
+		if m.SwitchHook != nil && next.ID != m.lastRun {
+			m.SwitchHook(next.Clock, next.ID)
+		}
+		m.lastRun = next.ID
 		next.turn <- struct{}{}
 		parked := <-m.park
 		if parked.done {
@@ -313,6 +344,9 @@ func SingleThread() *Thread { return &Thread{} }
 // used by hardware-initiated work (sweep detaches, randomization stalls)
 // applied to threads that are parked at the time.
 func (t *Thread) DirectCharge(a Account, n uint64) {
+	if t.ChargeHook != nil {
+		t.ChargeHook(a, n)
+	}
 	t.Clock += n
 	t.Costs.Add(a, n)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 )
 
@@ -22,10 +23,74 @@ func TestAccountsTotalsAndOverhead(t *testing.T) {
 }
 
 func TestAccountsZeroBase(t *testing.T) {
+	// A fully empty tally is a legitimate "nothing ran" state: ratios 0.
+	var empty Accounts
+	if empty.Overhead() != 0 || empty.Fraction(Attach) != 0 {
+		t.Fatal("empty tally must report 0, not NaN")
+	}
+	// Zero Base with nonzero overhead accounts means a miscredited run;
+	// the ratio is undefined and must surface as NaN, not a silent 0.
 	var a Accounts
 	a.Add(Attach, 10)
-	if a.Overhead() != 0 || a.Fraction(Attach) != 0 {
-		t.Fatal("zero base must not divide by zero")
+	if got := a.Overhead(); !math.IsNaN(got) {
+		t.Fatalf("Overhead with zero base = %v, want NaN", got)
+	}
+	if got := a.Fraction(Attach); !math.IsNaN(got) {
+		t.Fatalf("Fraction(Attach) with zero base = %v, want NaN", got)
+	}
+	// Accounts that are themselves zero still report 0.
+	if got := a.Fraction(Detach); got != 0 {
+		t.Fatalf("Fraction(Detach) = %v, want 0", got)
+	}
+}
+
+func TestChargeHookObservesCharges(t *testing.T) {
+	th := SingleThread()
+	var seen []uint64
+	th.ChargeHook = func(a Account, n uint64) {
+		if a == Attach {
+			seen = append(seen, n)
+		}
+	}
+	th.Charge(Attach, 40)
+	th.Charge(Base, 10)
+	th.DirectCharge(Attach, 5)
+	if len(seen) != 2 || seen[0] != 40 || seen[1] != 5 {
+		t.Fatalf("hook saw %v, want [40 5]", seen)
+	}
+}
+
+func TestSwitchHookFiresOnContextSwitch(t *testing.T) {
+	m := NewMachine(1, 10)
+	type sw struct {
+		ts     uint64
+		thread int
+	}
+	var switches []sw
+	m.SwitchHook = func(ts uint64, thread int) {
+		switches = append(switches, sw{ts, thread})
+	}
+	for i := 0; i < 2; i++ {
+		m.AddThread(func(th *Thread) {
+			for j := 0; j < 5; j++ {
+				th.Charge(Base, 10)
+			}
+		})
+	}
+	m.Run()
+	if len(switches) < 2 {
+		t.Fatalf("expected several switches, got %v", switches)
+	}
+	if switches[0].thread != 0 || switches[0].ts != 0 {
+		t.Fatalf("first switch = %+v, want thread 0 at cycle 0", switches[0])
+	}
+	for i := 1; i < len(switches); i++ {
+		if switches[i].thread == switches[i-1].thread {
+			t.Fatalf("consecutive switch events for same thread: %v", switches)
+		}
+		if switches[i].ts < switches[i-1].ts {
+			t.Fatalf("switch timestamps not monotone: %v", switches)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ package terphw
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/params"
 )
 
@@ -98,6 +99,10 @@ type Buffer struct {
 	SelfDetach uint64 // sweep-triggered detaches
 	SweepRand  uint64 // sweep-triggered randomizations
 
+	// Obs, when set, records every conditional-instruction case and
+	// sweep action as instant events on the hardware track (nil = off).
+	Obs *obs.Track
+
 	lastSweep uint64
 }
 
@@ -153,18 +158,22 @@ func (b *Buffer) CondAttach(pmo uint32, now uint64) Case {
 			e.DD = false
 			e.Ctr = 1
 			b.Elided++
+			b.Obs.Instant(now, obs.CatHW, "condat-silent", int64(pmo))
 			return CaseSilentAttach
 		}
 		// Case 2: subsequent attach by another thread.
 		e.Ctr++
+		b.Obs.Instant(now, obs.CatHW, "condat-sub", int64(pmo))
 		return CaseSubsequentAttach
 	}
 	// Case 1: allocate an entry.
 	slot := b.freeSlot(now)
 	if slot < 0 {
+		b.Obs.Instant(now, obs.CatHW, "condat-overflow", int64(pmo))
 		return CaseOverflow
 	}
 	b.entries[slot] = Entry{PMOID: pmo, TS: now, Ctr: 1, DD: false, valid: true}
+	b.Obs.Instant(now, obs.CatHW, "condat-first", int64(pmo))
 	return CaseFirstAttach
 }
 
@@ -188,21 +197,25 @@ func (b *Buffer) freeSlot(now uint64) int {
 func (b *Buffer) CondDetach(pmo uint32, now uint64) Case {
 	e := b.find(pmo)
 	if e == nil {
+		b.Obs.Instant(now, obs.CatHW, "conddt-overflow", int64(pmo))
 		return CaseOverflow
 	}
 	if e.Ctr > 1 {
 		// Case 4: not the last holder.
 		e.Ctr--
+		b.Obs.Instant(now, obs.CatHW, "conddt-partial", int64(pmo))
 		return CasePartialDetach
 	}
 	e.Ctr = 0
 	if now-e.TS >= b.maxEW {
 		// Case 5: EW met or exceeded; really detach.
 		e.valid = false
+		b.Obs.Instant(now, obs.CatHW, "conddt-full", int64(pmo))
 		return CaseFullDetach
 	}
 	// Case 6: delay the detach for window combining.
 	e.DD = true
+	b.Obs.Instant(now, obs.CatHW, "conddt-delay", int64(pmo))
 	return CaseDelayedDetach
 }
 
@@ -234,12 +247,14 @@ func (b *Buffer) Sweep(now uint64) []SweepAction {
 			// Self-detach: no thread works on the PMO.
 			e.valid = false
 			b.SelfDetach++
+			b.Obs.Instant(now, obs.CatHW, "sweep-detach", int64(e.PMOID))
 			acts = append(acts, SweepAction{PMOID: e.PMOID, Detach: true})
 		} else if e.Ctr > 0 {
 			// Still held: randomize in place and restart the
 			// window (partial combining, Figure 6c).
 			e.TS = now
 			b.SweepRand++
+			b.Obs.Instant(now, obs.CatHW, "sweep-rand", int64(e.PMOID))
 			acts = append(acts, SweepAction{PMOID: e.PMOID, Detach: false})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -26,6 +27,10 @@ type ExperimentSpec struct {
 	// Progress, when set, receives live cell-completion events: done
 	// cells out of total, plus the finished cell's display name.
 	Progress func(done, total int, cell string)
+	// Obs selects per-cell tracing/metrics collection; the zero value
+	// (everything off) leaves the Grid byte-identical to an
+	// uninstrumented build.
+	Obs obs.Config
 }
 
 // Grid is one experiment's structured results. Exactly one payload field
@@ -56,6 +61,36 @@ type Grid struct {
 	Frontier []EWSweepRow `json:"frontier,omitempty"`
 	// Crash holds the crash-consistency fault-injection matrix.
 	Crash []CrashRow `json:"crash,omitempty"`
+
+	// Obs holds per-cell metrics and trace summaries when the spec
+	// enabled collection; nil (and absent from the JSON) otherwise, so
+	// disabled runs marshal exactly as before.
+	Obs *ObsGrid `json:"obs,omitempty"`
+}
+
+// ObsGrid is the experiment-level observability payload: one entry per
+// simulated cell in enumeration order, plus the deterministic merge of
+// every cell's metrics.
+type ObsGrid struct {
+	// Cells holds each cell's snapshot in enumeration order.
+	Cells []*obs.CellObs `json:"cells"`
+	// Totals merges all cell metrics (nil when metrics were off).
+	Totals *obs.Snapshot `json:"totals,omitempty"`
+}
+
+// Traces returns the named per-cell event streams for the trace
+// exporters (empty when tracing was off).
+func (g *Grid) Traces() []obs.CellTrace {
+	if g.Obs == nil {
+		return nil
+	}
+	var out []obs.CellTrace
+	for _, c := range g.Obs.Cells {
+		if len(c.Events) > 0 {
+			out = append(out, obs.CellTrace{Name: c.Cell, Events: c.Events})
+		}
+	}
+	return out
 }
 
 // JSON renders the grid as indented JSON.
@@ -203,6 +238,7 @@ func Run(spec ExperimentSpec) (*Grid, error) {
 		res, err = runner.Execute(e.cells(spec), runner.Options{
 			Workers:  spec.Parallel,
 			Progress: progress,
+			Obs:      spec.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -212,6 +248,23 @@ func Run(spec ExperimentSpec) (*Grid, error) {
 	g := &Grid{Name: e.name, Opts: spec.Opts}
 	if err := e.assemble(spec, res, g); err != nil {
 		return nil, err
+	}
+	if spec.Obs.Enabled() && len(res) > 0 {
+		og := &ObsGrid{}
+		for _, r := range res {
+			if r.Obs != nil {
+				og.Cells = append(og.Cells, r.Obs)
+			}
+		}
+		if spec.Obs.Metrics {
+			og.Totals = obs.NewSnapshot()
+			for _, c := range og.Cells {
+				og.Totals.Merge(c.Metrics)
+			}
+		}
+		if len(og.Cells) > 0 {
+			g.Obs = og
+		}
 	}
 	return g, nil
 }
