@@ -8,6 +8,7 @@
 //	terpbench -exp all -json results.json   # structured grids for trending
 //	terpbench -exp table3 -trace out.json   # Perfetto/Chrome trace export
 //	terpbench -exp table3 -metrics          # per-cell counter tables
+//	terpbench -exp table3 -report run.html  # self-contained HTML run report
 //
 // Each experiment decomposes into independent simulation cells that run
 // on a worker pool; output is bit-identical at every -parallel value.
@@ -35,6 +36,7 @@ import (
 
 	terp "repro"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print live cell progress (with cells/sec and ETA) to stderr")
 	tracePath := flag.String("trace", "", "record per-cell event traces and write Chrome trace JSON (Perfetto-loadable) to this file")
 	metrics := flag.Bool("metrics", false, "collect per-cell metrics; print tables and an account rollup")
+	reportPath := flag.String("report", "", "write a self-contained HTML run report to this file (implies tracing and metrics)")
 	flag.Parse()
 
 	if *exp != "all" {
@@ -64,6 +67,12 @@ func main() {
 	}
 
 	ocfg := obs.Config{Trace: *tracePath != "", Metrics: *metrics}
+	if *reportPath != "" {
+		// The report needs both the event streams (exposure windows,
+		// attack instants) and the counters (overhead accounts).
+		ocfg.Trace = true
+		ocfg.Metrics = true
+	}
 
 	var grids []*terp.Grid
 	var traces []obs.CellTrace
@@ -113,6 +122,13 @@ func main() {
 		check(err)
 		check(os.WriteFile(*jsonPath, append(buf, '\n'), 0o644))
 		fmt.Fprintf(os.Stderr, "terpbench: wrote %d grid(s) to %s\n", len(grids), *jsonPath)
+	}
+	if *reportPath != "" {
+		in := terp.ReportInput("TERP run report", grids)
+		rep := report.Build(in, report.Options{})
+		check(os.WriteFile(*reportPath, report.HTML(rep), 0o644))
+		fmt.Fprintf(os.Stderr, "terpbench: wrote HTML report for %d experiment(s) to %s\n",
+			len(in.Experiments), *reportPath)
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -1,0 +1,139 @@
+// Command terpreport turns instrumented runs into analysis reports:
+// per-PMO exposure timelines, exposure-duration CDFs and percentiles for
+// MERR vs TERP, attack-event correlation, the paper's cycle-overhead
+// component accounts, and a benchmark regression verdict against a
+// committed baseline.
+//
+//	terpreport -exp table3 -ops 2000                 # run + text report
+//	terpreport -exp table3,table5 -html run.html     # self-contained HTML
+//	terpreport -exp table3 -baseline BENCH_obs.json \
+//	           -verdict verdict.json                 # CI regression gate
+//	terpreport -in grids.json -html run.html         # from saved grids
+//
+// Reports derive only from simulated cycles — the same spec produces
+// byte-identical HTML, text and verdict output at every -parallel level.
+//
+// With -baseline, the exit code is the regression verdict: 0 for pass or
+// improved, 3 for regressed (1 is reserved for operational errors), so
+// CI can gate directly on the process status.
+//
+// -in reads a `terpbench -json` document. Saved grids carry metrics but
+// not raw event streams, so that mode reports overhead accounts and the
+// regression verdict; run an experiment directly for exposure timelines
+// and attack correlation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	terp "repro"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "table3", "experiments to run: comma-separated names, or all (ignored with -in)")
+	ops := flag.Int("ops", 100_000, "WHISPER operations per run")
+	scale := flag.Int("scale", 1, "SPEC kernel scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment-cell workers (1 = serial)")
+	in := flag.String("in", "", "read grids from this `terpbench -json` file instead of running")
+	htmlPath := flag.String("html", "", "write the self-contained HTML report to this file")
+	baseline := flag.String("baseline", "", "compare against this BENCH_*.json baseline and gate the exit code")
+	verdictPath := flag.String("verdict", "", "write the machine-readable regression verdict JSON to this file (requires -baseline)")
+	tolerance := flag.Float64("tolerance", 2, "regression tolerance in percent of the baseline total")
+	title := flag.String("title", "TERP run report", "report title")
+	flag.Parse()
+
+	if *verdictPath != "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "terpreport: -verdict requires -baseline")
+		os.Exit(2)
+	}
+
+	grids, err := loadGrids(*in, *exp, terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}, *parallel)
+	check(err)
+
+	rep := report.Build(terp.ReportInput(*title, grids), report.Options{})
+
+	if *baseline != "" {
+		base, err := os.ReadFile(*baseline)
+		check(err)
+		baseGrids, err := report.ParseBench(base)
+		check(err)
+		// A Grid marshals to exactly the bench format, so the current side
+		// round-trips through the same parser.
+		curBytes, err := json.Marshal(grids)
+		check(err)
+		curGrids, err := report.ParseBench(curBytes)
+		check(err)
+		rep.Regression = report.Compare(curGrids, baseGrids, report.RegressOpts{TolerancePct: *tolerance})
+		if rep.Regression == nil {
+			fmt.Fprintln(os.Stderr, "terpreport: baseline shares no experiment with the current run; nothing to compare")
+			os.Exit(2)
+		}
+	}
+
+	if *htmlPath != "" {
+		check(os.WriteFile(*htmlPath, report.HTML(rep), 0o644))
+		fmt.Fprintf(os.Stderr, "terpreport: wrote HTML report to %s\n", *htmlPath)
+	}
+	if *verdictPath != "" {
+		buf, err := rep.Regression.VerdictJSON()
+		check(err)
+		check(os.WriteFile(*verdictPath, append(buf, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "terpreport: wrote verdict to %s\n", *verdictPath)
+	}
+
+	fmt.Print(report.Text(rep))
+	if rep.Regression != nil {
+		os.Exit(rep.Regression.ExitCode())
+	}
+}
+
+// loadGrids either parses a saved grids document or runs the requested
+// experiments with tracing and metrics on.
+func loadGrids(inPath, exp string, opts terp.ExpOpts, parallel int) ([]*terp.Grid, error) {
+	if inPath != "" {
+		buf, err := os.ReadFile(inPath)
+		if err != nil {
+			return nil, err
+		}
+		var grids []*terp.Grid
+		if err := json.Unmarshal(buf, &grids); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", inPath, err)
+		}
+		return grids, nil
+	}
+
+	names := strings.Split(exp, ",")
+	if exp == "all" {
+		names = terp.Experiments()
+	}
+	var grids []*terp.Grid
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		g, err := terp.Run(terp.ExperimentSpec{
+			Name:     name,
+			Opts:     opts,
+			Parallel: parallel,
+			Obs:      obs.Config{Trace: true, Metrics: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "terpreport:", err)
+		os.Exit(1)
+	}
+}

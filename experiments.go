@@ -14,6 +14,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/semantics"
@@ -204,6 +205,12 @@ type OverheadBar struct {
 
 func bar(prog, label string, prot, base core.Result) OverheadBar {
 	b := float64(base.Cycles)
+	if b == 0 {
+		// A zero-cycle baseline (an errored or empty cell) would make
+		// every ratio below NaN/Inf, which encoding/json refuses to
+		// marshal; emit an all-zero bar instead of poisoning the Grid.
+		return OverheadBar{Prog: prog, Label: label}
+	}
 	ov := float64(prot.Cycles)/b - 1
 	out := OverheadBar{
 		Prog: prog, Label: label, Total: ov,
@@ -424,8 +431,30 @@ func Table5(terpAccessFraction float64) []Table5Row {
 	return rows
 }
 
+// table5ProbeTrials and table5Probes size the Monte-Carlo validation an
+// instrumented table5 run records for the report layer: 64 windows of 40
+// probes each — enough hits to correlate, cheap enough for CI.
+const (
+	table5ProbeTrials = 64
+	table5Probes      = 40
+)
+
 func assembleTable5(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
 	g.Attack = Table5(0)
+	if spec.Obs.Enabled() {
+		var rec *obs.Recorder
+		if spec.Obs.Trace {
+			rec = obs.NewRecorder(spec.Obs.TraceCap)
+		}
+		frac, err := attack.MonteCarloProbeObs(table5ProbeTrials, table5Probes, spec.Opts.Seed, rec)
+		if err != nil {
+			return err
+		}
+		attachAnalysisObs(spec, g, "table5/probe/mc", rec, func(s *obs.Snapshot) {
+			s.Add("attack/probe/trials", table5ProbeTrials)
+			s.Add("attack/probe/hits", uint64(frac*table5ProbeTrials+0.5))
+		})
+	}
 	return nil
 }
 
@@ -562,12 +591,45 @@ type Figure8Result struct {
 }
 
 func assembleFigure8(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
-	h, frac, err := attack.DeadTimeStudy(spec.Opts.Seed)
+	var rec *obs.Recorder
+	if spec.Obs.Trace {
+		rec = obs.NewRecorder(spec.Obs.TraceCap)
+	}
+	h, frac, err := attack.DeadTimeStudyObs(spec.Opts.Seed, rec)
 	if err != nil {
 		return err
 	}
 	g.DeadTime = &Figure8Result{Hist: h, AtLeastTEW: frac}
+	attachAnalysisObs(spec, g, "fig8/deadtime/scan", rec, func(s *obs.Snapshot) {
+		s.Add("attack/deadtime/samples", h.N)
+	})
 	return nil
+}
+
+// attachAnalysisObs surfaces an analysis-only experiment's recorder and
+// counters as a single synthetic obs cell — the same shape runner cells
+// produce — so the report layer sees attack instants without re-running
+// the scans. No-op when the spec collects nothing.
+func attachAnalysisObs(spec ExperimentSpec, g *Grid, cell string, rec *obs.Recorder, fill func(*obs.Snapshot)) {
+	if !spec.Obs.Enabled() {
+		return
+	}
+	c := &obs.CellObs{Cell: cell}
+	og := &ObsGrid{Cells: []*obs.CellObs{c}}
+	if spec.Obs.Metrics {
+		c.Metrics = obs.NewSnapshot()
+		if fill != nil {
+			fill(c.Metrics)
+		}
+		og.Totals = obs.NewSnapshot()
+		og.Totals.Merge(c.Metrics)
+	}
+	if rec != nil {
+		c.TraceEvents = rec.Total()
+		c.TraceDropped = rec.Dropped()
+		c.Events = rec.Events()
+	}
+	g.Obs = og
 }
 
 // Figure8 reproduces the dead-time distribution study.

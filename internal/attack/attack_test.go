@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/terpc"
 )
@@ -275,5 +276,95 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 	if m.String() == "" {
 		t.Fatal("empty render")
+	}
+}
+
+func TestDeadTimeObsInstantsMatchSamples(t *testing.T) {
+	p := Profiles()[0]
+	rec := obs.NewRecorder(1 << 16)
+	samples, err := ProfileDeadTimesObs(p, 1, rec.Track(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := obs.FilterInstants(obs.Instants(rec.Events()), obs.CatAttack, "deadtime")
+	if len(ins) != len(samples) {
+		t.Fatalf("got %d deadtime instants, want %d (one per sample)", len(ins), len(samples))
+	}
+	for i, s := range samples {
+		if uint64(ins[i].Arg) != s.Cycles {
+			t.Fatalf("instant %d arg = %d, want dead time %d", i, ins[i].Arg, s.Cycles)
+		}
+	}
+	// The obs variant must not perturb the base result.
+	plain, err := ProfileDeadTimes(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(samples) || plain[0] != samples[0] {
+		t.Fatalf("instrumented run diverged from plain run")
+	}
+}
+
+func TestDeadTimeStudyObsTracksPerProfile(t *testing.T) {
+	rec := obs.NewRecorder(1 << 16)
+	_, frac, err := DeadTimeStudyObs(1, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plainFrac, err := DeadTimeStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != plainFrac {
+		t.Fatalf("instrumented fraction %v != plain %v", frac, plainFrac)
+	}
+	threads := map[int]bool{}
+	for _, e := range rec.Events() {
+		threads[e.Thread] = true
+	}
+	if len(threads) != len(Profiles()) {
+		t.Fatalf("events span %d tracks, want one per profile (%d)", len(threads), len(Profiles()))
+	}
+}
+
+func TestMonteCarloProbeObsEvents(t *testing.T) {
+	const trials, probes = 8, 5
+	rec := obs.NewRecorder(1 << 12)
+	frac, err := MonteCarloProbeObs(trials, probes, 1, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MonteCarloProbe(trials, probes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != plain {
+		t.Fatalf("instrumented fraction %v != plain %v", frac, plain)
+	}
+	ws := obs.FilterWindows(obs.Windows(rec.Events()), obs.CatExpo, "ew")
+	if len(ws) != trials {
+		t.Fatalf("got %d ew windows, want one per trial (%d)", len(ws), trials)
+	}
+	ins := obs.Instants(rec.Events())
+	probeEvents := obs.FilterInstants(ins, obs.CatAttack, "probe")
+	if len(probeEvents) == 0 || len(probeEvents) > trials*probes {
+		t.Fatalf("got %d probe instants, want in (0, %d]", len(probeEvents), trials*probes)
+	}
+	hits := obs.FilterInstants(ins, obs.CatAttack, "probe-hit")
+	if want := int(frac*trials + 0.5); len(hits) != want {
+		t.Fatalf("got %d probe-hit instants, want %d", len(hits), want)
+	}
+	// Every probe must land inside its trial's window.
+	for _, p := range probeEvents {
+		inside := false
+		for _, w := range ws {
+			if p.TS >= w.Start && p.TS < w.End {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("probe at %d outside every exposure window", p.TS)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nvm"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/pmo"
 	"repro/internal/stats"
@@ -83,6 +84,15 @@ func Profiles() []AllocProfile {
 // allocates an object, writes it Writes times across its lifetime, and
 // frees it; the dead time is the gap between the last write and the free.
 func ProfileDeadTimes(p AllocProfile, seed int64) ([]DeadTime, error) {
+	return ProfileDeadTimesObs(p, seed, nil)
+}
+
+// ProfileDeadTimesObs is ProfileDeadTimes with observability: each sample
+// is additionally emitted on the track as an "attack/deadtime" instant at
+// the last-write time with the dead-time length as its arg, so the report
+// layer can rebuild the dead-time distribution from the event stream
+// without re-running the scan. A nil track records nothing.
+func ProfileDeadTimesObs(p AllocProfile, seed int64, track *obs.Track) ([]DeadTime, error) {
 	dev := nvm.NewDevice(nvm.NVM, 1<<28)
 	mgr := pmo.NewManager(dev)
 	pool, err := mgr.Create("deadtime."+p.Name, 1<<26, pmo.ModeRead|pmo.ModeWrite)
@@ -108,6 +118,7 @@ func ProfileDeadTimes(p AllocProfile, seed int64) ([]DeadTime, error) {
 		}
 		free := clock + life
 		out = append(out, DeadTime{Object: o, Cycles: free - lastWrite})
+		track.Instant(lastWrite, obs.CatAttack, "deadtime", int64(free-lastWrite))
 		if err := pool.Free(o); err != nil {
 			return nil, err
 		}
@@ -128,10 +139,18 @@ func logUniform(rng *rand.Rand, lo, hi uint64) uint64 {
 // microseconds) plus the fraction of dead times at or above the TEW
 // target — the attack-surface reduction the paper reports as 95%.
 func DeadTimeStudy(seed int64) (*stats.Histogram, float64, error) {
+	return DeadTimeStudyObs(seed, nil)
+}
+
+// DeadTimeStudyObs is DeadTimeStudy with observability: each profile's
+// samples are emitted as "attack/deadtime" instants on its own
+// pseudo-thread track (profile index), so one recorder carries all
+// thirteen benchmarks as separate tracks. A nil recorder records nothing.
+func DeadTimeStudyObs(seed int64, rec *obs.Recorder) (*stats.Histogram, float64, error) {
 	bounds := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 	h := stats.NewHistogram(bounds)
-	for _, p := range Profiles() {
-		samples, err := ProfileDeadTimes(p, seed)
+	for i, p := range Profiles() {
+		samples, err := ProfileDeadTimesObs(p, seed, rec.Track(i))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -3,7 +3,9 @@ package attack
 import (
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/paging"
+	"repro/internal/params"
 )
 
 // ProbeModel is the analytic attack model behind Table V: an attacker
@@ -76,21 +78,46 @@ func TableVRow(attackMicros, terpAccessFraction float64) (merrPct, terpPct float
 // GB-aligned user addresses; the trial succeeds if any guess hits the
 // mapping. It returns the measured success fraction.
 func MonteCarloProbe(trials int, probes int, seed int64) (float64, error) {
+	return MonteCarloProbeObs(trials, probes, seed, nil)
+}
+
+// MonteCarloProbeObs is MonteCarloProbe with observability. Each trial is
+// modeled as one exposure window of the paper's default EW length on the
+// recorder's hardware track ("expo/ew" async span, arg = trial), the
+// attacker's guesses inside it as "attack/probe" instants on thread 0
+// (arg = probe ordinal), and a success as an "attack/probe-hit" instant
+// at the same timestamp — so the report layer can correlate probe hits
+// with exposure windows straight from the event stream, without
+// re-running the scan. A nil recorder records nothing.
+func MonteCarloProbeObs(trials int, probes int, seed int64, rec *obs.Recorder) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	hits := 0
+	window := params.Micros(params.DefaultEWMicros)
+	probeStep := params.Micros(1) // state-of-the-art probe rate: 1 us each
+	hw := rec.Track(obs.HWThread)
+	att := rec.Track(0)
 	for t := 0; t < trials; t++ {
+		start := uint64(t) * window
+		hw.AsyncBegin(start, obs.CatExpo, "ew", int64(t))
 		as := paging.NewAddressSpace(rand.New(rand.NewSource(rng.Int63())))
 		m, err := as.Attach(1, 1<<30, nil, 0, paging.ReadWrite)
 		if err != nil {
 			return 0, err
 		}
 		for p := 0; p < probes; p++ {
+			at := start + uint64(p)*probeStep
+			if at >= start+window {
+				at = start + window - 1 // clamp: probes stay inside the window
+			}
+			att.Instant(at, obs.CatAttack, "probe", int64(p))
 			guess := (rng.Uint64() % (1 << 17)) << 30
 			if guess == m.Base {
+				att.Instant(at, obs.CatAttack, "probe-hit", int64(p))
 				hits++
 				break
 			}
 		}
+		hw.AsyncEnd(start+window, obs.CatExpo, "ew", int64(t))
 	}
 	return float64(hits) / float64(trials), nil
 }

@@ -138,5 +138,11 @@ func (r *Runtime) ObsSnapshot() *obs.Snapshot {
 		s.Add("nvm/fences", b.Fences())
 		s.Add("nvm/drained_lines", b.DrainedLines())
 	}
+	if r.obs != nil {
+		s.Add("obs/events", r.obs.Total())
+		// Ring overflow is never silent: dropped events surface here and
+		// the report layer flags any cell with a nonzero count.
+		s.Add("obs/dropped", r.obs.Dropped())
+	}
 	return s
 }

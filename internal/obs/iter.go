@@ -1,0 +1,153 @@
+package obs
+
+import "sort"
+
+// Window is one closed span reconstructed from an event stream: a
+// synchronous Begin/End pair on one thread, or an AsyncBegin/AsyncEnd
+// pair matched by (category, name, arg). The analysis layer
+// (internal/report) consumes windows instead of raw events so it never
+// re-implements span pairing.
+type Window struct {
+	// Cat and Name identify the span.
+	Cat  Cat    `json:"cat"`
+	Name string `json:"name"`
+	// Thread is the thread the span began on (HWThread for hardware).
+	Thread int `json:"thread"`
+	// Arg is the span detail (PMO ID for "ew" windows).
+	Arg int64 `json:"arg"`
+	// Start and End are the span bounds in simulated cycles.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+// Cycles returns the window length.
+func (w Window) Cycles() uint64 { return w.End - w.Start }
+
+// InstantEvent is one point event extracted from a stream.
+type InstantEvent struct {
+	// Cat and Name identify the instant.
+	Cat  Cat    `json:"cat"`
+	Name string `json:"name"`
+	// Thread is the emitting thread.
+	Thread int `json:"thread"`
+	// Arg is the event detail (dead-time cycles for "deadtime").
+	Arg int64 `json:"arg"`
+	// TS is the event time in simulated cycles.
+	TS uint64 `json:"ts"`
+}
+
+// asyncKey pairs AsyncBegin/AsyncEnd events.
+type asyncKey struct {
+	cat  Cat
+	name string
+	arg  int64
+}
+
+// Windows reconstructs every closed span of an event stream. Events must
+// be in the deterministic merged order Recorder.Events returns.
+// Synchronous spans pair through a per-thread stack (they nest);
+// async spans pair FIFO by (cat, name, arg) since overlapping windows of
+// the same key close in open order (the expo tracker never overlaps the
+// same key). Spans still open at the end of the stream are dropped — the
+// components close everything at Finish, so an unclosed span means the
+// stream was truncated by the ring. The result is sorted by
+// (Start, End, Thread, Cat, Name, Arg).
+func Windows(events []Event) []Window {
+	var out []Window
+	syncStacks := make(map[int][]Event)
+	asyncOpen := make(map[asyncKey][]Event)
+	for _, e := range events {
+		switch e.Type {
+		case Begin:
+			syncStacks[e.Thread] = append(syncStacks[e.Thread], e)
+		case End:
+			stack := syncStacks[e.Thread]
+			if len(stack) == 0 {
+				continue // truncated stream: End without Begin
+			}
+			b := stack[len(stack)-1]
+			syncStacks[e.Thread] = stack[:len(stack)-1]
+			out = append(out, Window{
+				Cat: b.Cat, Name: b.Name, Thread: b.Thread, Arg: b.Arg,
+				Start: b.TS, End: e.TS,
+			})
+		case AsyncBegin:
+			k := asyncKey{e.Cat, e.Name, e.Arg}
+			asyncOpen[k] = append(asyncOpen[k], e)
+		case AsyncEnd:
+			k := asyncKey{e.Cat, e.Name, e.Arg}
+			open := asyncOpen[k]
+			if len(open) == 0 {
+				continue
+			}
+			b := open[0]
+			asyncOpen[k] = open[1:]
+			out = append(out, Window{
+				Cat: b.Cat, Name: b.Name, Thread: b.Thread, Arg: b.Arg,
+				Start: b.TS, End: e.TS,
+			})
+		}
+	}
+	sortWindows(out)
+	return out
+}
+
+func sortWindows(ws []Window) {
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Arg < b.Arg
+	})
+}
+
+// Instants extracts the point events of a stream, preserving its order.
+func Instants(events []Event) []InstantEvent {
+	var out []InstantEvent
+	for _, e := range events {
+		if e.Type != Instant {
+			continue
+		}
+		out = append(out, InstantEvent{
+			Cat: e.Cat, Name: e.Name, Thread: e.Thread, Arg: e.Arg, TS: e.TS,
+		})
+	}
+	return out
+}
+
+// FilterWindows returns the windows matching category cat and, when name
+// is non-empty, the given name.
+func FilterWindows(ws []Window, cat Cat, name string) []Window {
+	var out []Window
+	for _, w := range ws {
+		if w.Cat == cat && (name == "" || w.Name == name) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FilterInstants returns the instants matching category cat and, when
+// name is non-empty, the given name.
+func FilterInstants(ins []InstantEvent, cat Cat, name string) []InstantEvent {
+	var out []InstantEvent
+	for _, e := range ins {
+		if e.Cat == cat && (name == "" || e.Name == name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

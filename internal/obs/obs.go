@@ -79,6 +79,9 @@ const (
 	CatExpo
 	// CatCore is the runtime's attach/detach state machine.
 	CatCore
+	// CatAttack is the security-analysis layer (dead-time samples, probe
+	// attempts and hits).
+	CatAttack
 )
 
 // String names the category.
@@ -98,6 +101,8 @@ func (c Cat) String() string {
 		return "expo"
 	case CatCore:
 		return "core"
+	case CatAttack:
+		return "attack"
 	}
 	return fmt.Sprintf("cat(%d)", int(c))
 }
@@ -152,12 +157,13 @@ const DefaultTraceCap = 1 << 16
 // Track is one thread's (or the hardware's) bounded event stream. All
 // emit methods are safe on a nil receiver, which is the disabled path.
 type Track struct {
-	thread int
-	cap    int
-	ring   []Event
-	next   int
-	seq    uint64
-	total  uint64
+	thread  int
+	cap     int
+	ring    []Event
+	next    int
+	seq     uint64
+	total   uint64
+	dropped uint64
 }
 
 // Begin opens a synchronous span.
@@ -219,8 +225,20 @@ func (t *Track) emit(e Event) {
 		t.next = len(t.ring) % t.cap
 		return
 	}
+	// Ring overflow: the oldest event is overwritten. The loss is
+	// accounted, never silent — Dropped feeds the metrics snapshot
+	// ("obs/dropped") and the report flags affected cells.
+	t.dropped++
 	t.ring[t.next] = e
 	t.next = (t.next + 1) % t.cap
+}
+
+// Dropped returns how many of this track's events fell out of the ring.
+func (t *Track) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Total returns the number of events observed (retained or not).
@@ -293,7 +311,7 @@ func (r *Recorder) Dropped() uint64 {
 	}
 	var n uint64
 	for _, t := range r.tracks {
-		n += t.total - uint64(len(t.ring))
+		n += t.dropped
 	}
 	return n
 }

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// reportCSS is the report's inline stylesheet — the document embeds
+// everything it needs (styles, charts) so it opens anywhere offline.
+const reportCSS = `
+body { font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+       color: #1a1a1a; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #4269d0; padding-bottom: .3rem; }
+h2 { font-size: 1.2rem; margin-top: 2rem; border-bottom: 1px solid #ddd; }
+h3 { font-size: 1rem; margin-top: 1.2rem; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #ddd; padding: .25rem .6rem; text-align: right; }
+th { background: #f5f7fa; }
+td:first-child, th:first-child { text-align: left; }
+.warn { background: #fff3cd; border: 1px solid #ffe08a; padding: .6rem .8rem;
+        border-radius: 4px; margin: .8rem 0; }
+.pass { color: #2e7d32; font-weight: 600; }
+.improved { color: #1565c0; font-weight: 600; }
+.regressed { color: #c62828; font-weight: 600; }
+.info { color: #666; }
+.muted { color: #666; font-size: .85rem; }
+svg { background: #fff; border: 1px solid #eee; margin: .4rem 0; }
+`
+
+// HTML renders the report as one self-contained document: inline CSS,
+// inline SVG charts, no scripts, no external assets, nothing derived
+// from wall time — byte-identical for identical inputs.
+func HTML(r *Report) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", escape(r.Title))
+	b.WriteString("<style>" + reportCSS + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", escape(r.Title))
+
+	if r.Regression != nil {
+		htmlRegression(&b, r.Regression)
+	}
+	for _, e := range r.Experiments {
+		htmlExperiment(&b, e)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+func htmlExperiment(b *strings.Builder, e ExperimentReport) {
+	fmt.Fprintf(b, "<h2>Experiment: %s</h2>\n", escape(e.Name))
+	if e.Opts != "" {
+		fmt.Fprintf(b, "<p class=\"muted\">%s</p>\n", escape(e.Opts))
+	}
+	for _, d := range e.Dropped {
+		fmt.Fprintf(b,
+			"<div class=\"warn\">cell <code>%s</code> dropped %d of %d trace events to ring overflow; its exposure sections undercount windows. Raise the trace capacity to capture everything.</div>\n",
+			escape(d.Cell), d.Dropped, d.Total)
+	}
+	if e.Exposure != nil {
+		htmlExposure(b, e.Exposure)
+	}
+	if e.Attack != nil {
+		htmlAttack(b, e.Attack)
+	}
+	if e.Overhead != nil {
+		htmlOverhead(b, e.Overhead)
+	}
+	if e.Exposure == nil && e.Attack == nil && e.Overhead == nil {
+		b.WriteString("<p class=\"muted\">no observability payload (run with tracing/metrics enabled).</p>\n")
+	}
+}
+
+func htmlExposure(b *strings.Builder, x *ExposureReport) {
+	b.WriteString("<h3>Exposure windows</h3>\n")
+	b.WriteString("<table>\n<tr><th>config</th><th>cells</th><th>EW count</th><th>PMOs</th><th>EW mean (us)</th><th>p50</th><th>p90</th><th>p99</th><th>max</th><th>TEW count</th><th>TEW mean (us)</th><th>TEW p99</th></tr>\n")
+	for _, g := range x.Groups {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%d</td><td>%.2f</td><td>%.2f</td></tr>\n",
+			escape(g.Label), g.Cells, g.EW.Count, g.EW.PMOs,
+			g.EW.MeanMicros, g.EW.P50, g.EW.P90, g.EW.P99, g.EW.MaxMicros,
+			g.TEW.Count, g.TEW.MeanMicros, g.TEW.P99)
+	}
+	b.WriteString("</table>\n")
+
+	var series []cdfSeries
+	for _, g := range x.Groups {
+		if len(g.EW.CDF) > 0 {
+			series = append(series, cdfSeries{label: g.Label, points: g.EW.CDF})
+		}
+	}
+	if len(series) > 0 {
+		b.WriteString("<p class=\"muted\">Exposure-duration CDF (per closed EW window; lower-left is better — shorter windows, reached sooner).</p>\n")
+		b.WriteString(svgCDF("exposure-duration CDF", "window length (us)", series))
+	}
+	for _, g := range x.Groups {
+		if len(g.Timelines) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "<h3>Per-PMO exposure timeline — %s</h3>\n", escape(g.Label))
+		if g.TimelinePMOs > len(g.Timelines) {
+			fmt.Fprintf(b, "<p class=\"muted\">showing %d of %d PMOs.</p>\n", len(g.Timelines), g.TimelinePMOs)
+		}
+		for _, tl := range g.Timelines {
+			if tl.TruncatedFrom > 0 {
+				fmt.Fprintf(b, "<p class=\"muted\">pmo %d: showing %d of %d windows.</p>\n",
+					tl.PMO, len(tl.Spans), tl.TruncatedFrom)
+			}
+		}
+		b.WriteString(svgTimelines(g))
+	}
+}
+
+func htmlAttack(b *strings.Builder, a *AttackReport) {
+	b.WriteString("<h3>Attack observability</h3>\n")
+	if a.DeadTimes > 0 {
+		fmt.Fprintf(b,
+			"<p>%d dead-time samples; mean %.1f us, p50 %.1f us, max %.1f us. <b>%.1f%%</b> of dead times are &ge; the %.0f us TEW target — the surface a TEW of that length leaves reachable.</p>\n",
+			a.DeadTimes, a.DeadStats.MeanMicros, a.DeadStats.P50, a.DeadStats.MaxMicros,
+			a.AtLeastTEWPct, a.TEWTargetMicros)
+		if len(a.DeadStats.CDF) > 0 {
+			b.WriteString(svgCDF("dead-time CDF", "dead time (us)",
+				[]cdfSeries{{label: "dead time", points: a.DeadStats.CDF}}))
+		}
+	}
+	if a.Probes > 0 {
+		fmt.Fprintf(b,
+			"<p>%d probes across %d exposure windows: %d inside an open window, %d hits (%d inside a window). A probe can only succeed while a window is open — hits outside a window would falsify the model.</p>\n",
+			a.Probes, a.Windows, a.ProbesInWindow, a.ProbeHits, a.HitsInWindow)
+	}
+}
+
+func htmlOverhead(b *strings.Builder, o *OverheadReport) {
+	b.WriteString("<h3>Cycle-overhead breakdown (component accounts)</h3>\n")
+	b.WriteString("<table>\n<tr><th>config</th><th>cells</th><th>base</th><th>attach</th><th>detach</th><th>rand</th><th>cond</th><th>other</th><th>overhead</th></tr>\n")
+	for _, r := range o.Rows {
+		ov := "n/a"
+		if r.Overhead.Valid() {
+			ov = fmt.Sprintf("%.2f%%", 100*float64(r.Overhead))
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+			escape(r.Label), r.Cells, r.Base, r.Attach, r.Detach, r.Rand, r.Cond, r.Other, ov)
+	}
+	b.WriteString("</table>\n")
+	b.WriteString(svgOverheadBars(o.Rows))
+}
+
+func htmlRegression(b *strings.Builder, reg *Regression) {
+	b.WriteString("<h2>Benchmark regression vs baseline</h2>\n")
+	fmt.Fprintf(b, "<p>Verdict: <span class=\"%s\">%s</span> <span class=\"muted\">(tolerance %.1f%%, z=%.2f; gated metrics are the sim/cycles accounts — more cycles is worse)</span></p>\n",
+		reg.Verdict, strings.ToUpper(string(reg.Verdict)), reg.TolerancePct, reg.Z)
+	b.WriteString("<table>\n<tr><th>metric</th><th>experiment</th><th>baseline</th><th>current</th><th>delta</th><th>per-cell mean &plusmn; CI</th><th>n</th><th>verdict</th></tr>\n")
+	for _, m := range reg.Metrics {
+		delta := "n/a"
+		if m.DeltaPct.Valid() {
+			delta = fmt.Sprintf("%+.2f%%", float64(m.DeltaPct))
+		}
+		ci := "n/a"
+		if m.MeanRelPct.Valid() && m.CIHalfPct.Valid() {
+			ci = fmt.Sprintf("%+.2f%% &plusmn; %.2f%%", float64(m.MeanRelPct), float64(m.CIHalfPct))
+		}
+		cls := m.Verdict
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td class=\"%s\">%s</td></tr>\n",
+			escape(m.Name), escape(m.Experiment), m.Base, m.Cur, delta, ci, m.N, cls, m.Verdict)
+	}
+	b.WriteString("</table>\n")
+}

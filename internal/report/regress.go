@@ -1,0 +1,273 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Verdict is the machine-readable outcome of a baseline comparison.
+type Verdict string
+
+// The three comparison outcomes. CI gates on Regressed.
+const (
+	// Pass: every gated metric is within tolerance of the baseline.
+	Pass Verdict = "pass"
+	// Improved: at least one gated metric moved significantly in the
+	// good direction and none regressed.
+	Improved Verdict = "improved"
+	// Regressed: at least one gated metric moved significantly in the
+	// bad direction.
+	Regressed Verdict = "regressed"
+)
+
+// BenchCell is one cell's metrics as stored in a BENCH_*.json grid.
+type BenchCell struct {
+	Cell    string        `json:"cell"`
+	Metrics *obs.Snapshot `json:"metrics"`
+}
+
+// BenchObs is the observability payload of one stored grid.
+type BenchObs struct {
+	Cells  []BenchCell   `json:"cells"`
+	Totals *obs.Snapshot `json:"totals"`
+}
+
+// BenchGrid is the slice of a stored grid the regression tracker reads:
+// the experiment name and its metrics. All other payload fields are
+// ignored, so the format tolerates grids from any experiment.
+type BenchGrid struct {
+	Name string    `json:"name"`
+	Obs  *BenchObs `json:"obs"`
+}
+
+// ParseBench parses a BENCH_*.json document (the `terpbench -json`
+// output: an array of grids).
+func ParseBench(data []byte) ([]BenchGrid, error) {
+	var out []BenchGrid
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("report: parsing bench document: %w", err)
+	}
+	return out, nil
+}
+
+// RegressOpts tunes the baseline comparison.
+type RegressOpts struct {
+	// TolerancePct is the relative drift (percent of the baseline total)
+	// a gated metric may move without triggering a verdict; 0 selects
+	// 2%. The simulation is deterministic, so any drift at all is a code
+	// change — the tolerance only keeps hair-trigger noise metrics from
+	// gating CI.
+	TolerancePct float64
+	// Z is the confidence z-score for the per-cell delta interval; 0
+	// selects 1.96 (~95%).
+	Z float64
+}
+
+func (o RegressOpts) withDefaults() RegressOpts {
+	if o.TolerancePct == 0 {
+		o.TolerancePct = 2
+	}
+	if o.Z == 0 {
+		o.Z = 1.96
+	}
+	return o
+}
+
+// MetricDelta is one metric's baseline-vs-current comparison.
+type MetricDelta struct {
+	// Experiment and Name identify the metric.
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	// Base and Cur are the merged totals on each side.
+	Base uint64 `json:"base"`
+	Cur  uint64 `json:"cur"`
+	// DeltaPct is the relative change of the total in percent
+	// (null when the baseline total is 0).
+	DeltaPct Ratio `json:"deltaPct"`
+	// MeanRelPct and CIHalfPct are the mean per-cell relative delta and
+	// its confidence half-width in percent, over the N cells present on
+	// both sides (the per-cell values are the samples the interval is
+	// computed from).
+	MeanRelPct Ratio `json:"meanRelPct"`
+	CIHalfPct  Ratio `json:"ciHalfPct"`
+	N          int   `json:"n"`
+	// Gated marks metrics the verdict gates on (cycle accounts, where
+	// higher is worse); ungated metrics are informational.
+	Gated bool `json:"gated"`
+	// Verdict is pass/improved/regressed for gated metrics, "info" for
+	// the rest.
+	Verdict string `json:"verdict"`
+}
+
+// Regression is the full baseline comparison.
+type Regression struct {
+	// Verdict is the overall outcome (the worst per-metric verdict).
+	Verdict Verdict `json:"verdict"`
+	// TolerancePct and Z echo the comparison parameters.
+	TolerancePct float64 `json:"tolerancePct"`
+	Z            float64 `json:"z"`
+	// Metrics holds every compared metric, gated first, then by
+	// (experiment, name).
+	Metrics []MetricDelta `json:"metrics"`
+}
+
+// gatedMetric reports whether drift in the metric should gate CI: the
+// cycle accounts are the paper's overhead currency, and more cycles is
+// strictly worse.
+func gatedMetric(name string) bool {
+	return strings.HasPrefix(name, "sim/cycles/")
+}
+
+// Compare runs the regression analysis of current against baseline.
+// Grids pair by experiment name; within a pair, every counter present on
+// either side is compared: totals for the headline delta, and matched
+// per-cell values (paired by cell name) for the confidence interval. It
+// returns nil when the documents share no experiment.
+func Compare(current, baseline []BenchGrid, opt RegressOpts) *Regression {
+	opt = opt.withDefaults()
+	baseByName := make(map[string]BenchGrid)
+	for _, g := range baseline {
+		baseByName[g.Name] = g
+	}
+	out := &Regression{Verdict: Pass, TolerancePct: opt.TolerancePct, Z: opt.Z}
+	matched := false
+	for _, cur := range current {
+		base, ok := baseByName[cur.Name]
+		if !ok || cur.Obs == nil || base.Obs == nil {
+			continue
+		}
+		matched = true
+		out.Metrics = append(out.Metrics, compareGrids(cur, base, opt)...)
+	}
+	if !matched {
+		return nil
+	}
+	for _, m := range out.Metrics {
+		switch m.Verdict {
+		case string(Regressed):
+			out.Verdict = Regressed
+		case string(Improved):
+			if out.Verdict == Pass {
+				out.Verdict = Improved
+			}
+		}
+	}
+	// Gated metrics lead, then lexical (experiment, name): the order is a
+	// deterministic function of the inputs.
+	sortMetricDeltas(out.Metrics)
+	return out
+}
+
+func compareGrids(cur, base BenchGrid, opt RegressOpts) []MetricDelta {
+	var out []MetricDelta
+	baseCells := make(map[string]*obs.Snapshot)
+	for _, c := range base.Obs.Cells {
+		baseCells[c.Cell] = c.Metrics
+	}
+	for _, name := range sortedCounterNames(cur.Obs.Totals, base.Obs.Totals) {
+		d := MetricDelta{
+			Experiment: cur.Name,
+			Name:       name,
+			Base:       base.Obs.Totals.Get(name),
+			Cur:        cur.Obs.Totals.Get(name),
+			Gated:      gatedMetric(name),
+		}
+		if d.Base > 0 {
+			d.DeltaPct = Ratio(100 * (float64(d.Cur) - float64(d.Base)) / float64(d.Base))
+		} else {
+			d.DeltaPct = Ratio(math.NaN())
+		}
+		// Per-cell paired relative deltas feed the confidence interval.
+		var rel []float64
+		for _, c := range cur.Obs.Cells {
+			bm, ok := baseCells[c.Cell]
+			if !ok || bm == nil || c.Metrics == nil {
+				continue
+			}
+			bv := bm.Get(name)
+			if bv == 0 {
+				continue
+			}
+			cv := c.Metrics.Get(name)
+			rel = append(rel, 100*(float64(cv)-float64(bv))/float64(bv))
+		}
+		d.N = len(rel)
+		if len(rel) > 0 {
+			mean, half := stats.MeanCI(rel, opt.Z)
+			d.MeanRelPct, d.CIHalfPct = Ratio(mean), Ratio(half)
+		} else {
+			d.MeanRelPct, d.CIHalfPct = Ratio(math.NaN()), Ratio(math.NaN())
+		}
+		d.Verdict = metricVerdict(d, opt)
+		out = append(out, d)
+	}
+	return out
+}
+
+// metricVerdict classifies one metric. A gated metric regresses when its
+// total drifts beyond tolerance in the bad direction AND the per-cell
+// confidence interval excludes zero (or no per-cell pairing exists, in
+// which case the deterministic totals speak for themselves).
+func metricVerdict(d MetricDelta, opt RegressOpts) string {
+	if !d.Gated {
+		return "info"
+	}
+	delta := float64(d.DeltaPct)
+	if math.IsNaN(delta) {
+		// Baseline total was zero: a metric appearing from nowhere is a
+		// regression (new cycles charged), disappearing-to-zero is
+		// handled by the delta path below.
+		if d.Cur > d.Base {
+			return string(Regressed)
+		}
+		return string(Pass)
+	}
+	if math.Abs(delta) <= opt.TolerancePct {
+		return string(Pass)
+	}
+	if d.N >= 2 {
+		mean, half := float64(d.MeanRelPct), float64(d.CIHalfPct)
+		if math.Abs(mean) <= half {
+			return string(Pass) // interval includes zero: not significant
+		}
+	}
+	if delta > 0 {
+		return string(Regressed)
+	}
+	return string(Improved)
+}
+
+func sortMetricDeltas(ms []MetricDelta) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Gated != b.Gated {
+			return a.Gated
+		}
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		return a.Name < b.Name
+	})
+}
+
+// VerdictJSON renders the regression as indented JSON (the
+// machine-readable artifact CI stores and gates on).
+func (r *Regression) VerdictJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ExitCode maps the verdict to a process exit code: 0 for pass and
+// improved, 3 for regressed (distinct from 1, which commands use for
+// operational errors).
+func (r *Regression) ExitCode() int {
+	if r != nil && r.Verdict == Regressed {
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,170 @@
+// Package report is the analysis layer over the observability subsystem:
+// it consumes per-cell metrics snapshots and event streams (internal/obs)
+// and produces the paper-style artifacts of the evaluation — per-PMO
+// exposure timelines, exposure-duration CDFs and percentiles for MERR vs
+// TERP, attack-correlation statistics (probe hits vs open exposure
+// windows, dead-time surface vs the TEW target), and a cycle-overhead
+// breakdown matching the paper's component accounts — plus benchmark
+// regression tracking against a committed BENCH_*.json baseline.
+//
+// Determinism contract: the package inherits obs's guarantees — every
+// input value is keyed by simulated cycles and merged in enumeration
+// order — and adds none of its own nondeterminism: no wall time, no map
+// iteration without sorting, fixed-precision float rendering. Two runs of
+// the same spec produce byte-identical text, HTML and verdict JSON at
+// every -parallel level.
+package report
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/params"
+)
+
+// Cell is one experiment cell's observability payload as the analyzer
+// consumes it (a thin mirror of obs.CellObs with the trace attached).
+type Cell struct {
+	// Name is the cell's display name ("table3/echo/MM(40us)").
+	Name string
+	// Metrics is the cell's counter/histogram snapshot (nil when metrics
+	// collection was off).
+	Metrics *obs.Snapshot
+	// Events is the cell's retained trace (nil when tracing was off).
+	Events []obs.Event
+	// TraceEvents and TraceDropped count observed and ring-evicted trace
+	// events.
+	TraceEvents, TraceDropped uint64
+}
+
+// Label returns the cell's configuration label — the last segment of the
+// slash-separated cell name ("MM(40us)").
+func (c Cell) Label() string {
+	if i := strings.LastIndexByte(c.Name, '/'); i >= 0 {
+		return c.Name[i+1:]
+	}
+	return c.Name
+}
+
+// Experiment is one experiment's observability payload.
+type Experiment struct {
+	// Name is the experiment ("table3"); Opts a rendered options line.
+	Name, Opts string
+	// Cells holds the per-cell payloads in enumeration order.
+	Cells []Cell
+	// Totals is the deterministic merge of all cell metrics (nil when
+	// metrics were off).
+	Totals *obs.Snapshot
+}
+
+// Input is everything one report is built from.
+type Input struct {
+	// Title heads the report (e.g. the command line that produced it,
+	// minus anything nondeterministic).
+	Title string
+	// Experiments in run order.
+	Experiments []Experiment
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// TEWTargetMicros is the thread-exposure-window target the dead-time
+	// surface is measured against; 0 selects the paper's 2 us.
+	TEWTargetMicros float64
+	// MaxTimelinePMOs bounds the per-PMO timelines rendered per
+	// configuration; 0 selects 8. The bound is reported, never silent.
+	MaxTimelinePMOs int
+	// MaxTimelineSpans bounds the spans rendered per timeline; 0
+	// selects 120.
+	MaxTimelineSpans int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TEWTargetMicros == 0 {
+		o.TEWTargetMicros = params.DefaultTEWMicros
+	}
+	if o.MaxTimelinePMOs == 0 {
+		o.MaxTimelinePMOs = 8
+	}
+	if o.MaxTimelineSpans == 0 {
+		o.MaxTimelineSpans = 120
+	}
+	return o
+}
+
+// Report is the finished analysis.
+type Report struct {
+	// Title heads the report.
+	Title string `json:"title"`
+	// Experiments holds one section per experiment, in run order.
+	Experiments []ExperimentReport `json:"experiments"`
+	// Regression is the baseline comparison (nil when none was run).
+	Regression *Regression `json:"regression,omitempty"`
+}
+
+// ExperimentReport is one experiment's analysis section.
+type ExperimentReport struct {
+	// Name and Opts identify the experiment.
+	Name string `json:"name"`
+	Opts string `json:"opts,omitempty"`
+	// Exposure is the window analysis (nil without expo trace events).
+	Exposure *ExposureReport `json:"exposure,omitempty"`
+	// Attack is the attack-observability analysis (nil without attack
+	// instants).
+	Attack *AttackReport `json:"attack,omitempty"`
+	// Overhead is the cycle-account breakdown (nil without metrics).
+	Overhead *OverheadReport `json:"overhead,omitempty"`
+	// Dropped flags cells whose trace rings overflowed; their exposure
+	// sections may undercount windows.
+	Dropped []DroppedCell `json:"dropped,omitempty"`
+}
+
+// DroppedCell flags one cell that lost trace events to ring overflow.
+type DroppedCell struct {
+	// Cell is the cell name; Dropped and Total its loss and event count.
+	Cell    string `json:"cell"`
+	Dropped uint64 `json:"dropped"`
+	Total   uint64 `json:"total"`
+}
+
+// Build runs the full analysis over the input.
+func Build(in Input, opt Options) *Report {
+	opt = opt.withDefaults()
+	r := &Report{Title: in.Title}
+	for _, e := range in.Experiments {
+		er := ExperimentReport{Name: e.Name, Opts: e.Opts}
+		er.Exposure = analyzeExposure(e, opt)
+		er.Attack = analyzeAttack(e, opt)
+		er.Overhead = analyzeOverhead(e)
+		for _, c := range e.Cells {
+			if c.TraceDropped > 0 {
+				er.Dropped = append(er.Dropped, DroppedCell{
+					Cell: c.Name, Dropped: c.TraceDropped, Total: c.TraceEvents,
+				})
+			}
+		}
+		r.Experiments = append(r.Experiments, er)
+	}
+	return r
+}
+
+// sortedCounterNames returns the union of counter names across snapshots,
+// sorted.
+func sortedCounterNames(snaps ...*obs.Snapshot) []string {
+	seen := make(map[string]bool)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for k := range s.Counters {
+			seen[k] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

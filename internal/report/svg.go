@@ -1,0 +1,301 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The SVG helpers render the report's charts as self-contained inline
+// SVG — no scripts, no external assets — with fixed-precision coordinate
+// formatting so the bytes are deterministic.
+
+// palette is the fixed series color cycle.
+var palette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+	"#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+}
+
+func seriesColor(i int) string { return palette[i%len(palette)] }
+
+// coord formats an SVG coordinate.
+func coord(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// axisLabel formats an axis tick value compactly.
+func axisLabel(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && a < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// chart geometry shared by the plots.
+const (
+	chartW, chartH             = 640.0, 280.0
+	marginL, marginR           = 60.0, 16.0
+	marginT, marginB           = 16.0, 40.0
+	plotW                      = chartW - marginL - marginR
+	plotH                      = chartH - marginT - marginB
+	axisStyle                  = `stroke="#999" stroke-width="1"`
+	tickTextStyle              = `font-size="10" fill="#555"`
+	gridStyle                  = `stroke="#eee" stroke-width="1"`
+	timelineRowH, timelineGapH = 16.0, 6.0
+)
+
+// cdfSeries is one line of a CDF chart.
+type cdfSeries struct {
+	label  string
+	points []CDFPoint
+}
+
+// svgCDF renders a multi-series duration-CDF chart. The x axis is
+// microseconds (log10 when the data spans more than two decades),
+// the y axis the cumulative fraction.
+func svgCDF(title, xLabel string, series []cdfSeries) string {
+	var minX, maxX float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.points {
+			if p.Micros <= 0 {
+				continue
+			}
+			if first || p.Micros < minX {
+				minX = p.Micros
+			}
+			if first || p.Micros > maxX {
+				maxX = p.Micros
+			}
+			first = false
+		}
+	}
+	if first {
+		return ""
+	}
+	logScale := maxX/minX > 100
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	xpos := func(v float64) float64 {
+		if logScale {
+			return marginL + plotW*(math.Log10(v)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))
+		}
+		return marginL + plotW*(v-minX)/(maxX-minX)
+	}
+	ypos := func(frac float64) float64 { return marginT + plotH*(1-frac) }
+
+	var b strings.Builder
+	openSVG(&b, title)
+	// Horizontal grid + y ticks at 0/25/50/75/100%.
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		y := ypos(frac)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" %s/>`,
+			coord(marginL), coord(y), coord(chartW-marginR), coord(y), gridStyle)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" %s>%d%%</text>`,
+			coord(marginL-6), coord(y+3), tickTextStyle, i*25)
+		b.WriteByte('\n')
+	}
+	// X ticks: 5 evenly spaced positions.
+	for i := 0; i <= 4; i++ {
+		t := float64(i) / 4
+		var v float64
+		if logScale {
+			v = math.Pow(10, math.Log10(minX)+t*(math.Log10(maxX)-math.Log10(minX)))
+		} else {
+			v = minX + t*(maxX-minX)
+		}
+		x := xpos(v)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" %s/>`,
+			coord(x), coord(marginT+plotH), coord(x), coord(marginT+plotH+4), axisStyle)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" %s>%s</text>`,
+			coord(x), coord(marginT+plotH+16), tickTextStyle, axisLabel(v))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" %s>%s</text>`,
+		coord(marginL+plotW/2), coord(chartH-6), tickTextStyle, escape(xLabel))
+	b.WriteByte('\n')
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" %s/>`,
+		coord(marginL), coord(marginT), coord(marginL), coord(marginT+plotH), axisStyle)
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" %s/>`,
+		coord(marginL), coord(marginT+plotH), coord(chartW-marginR), coord(marginT+plotH), axisStyle)
+	b.WriteByte('\n')
+	// Series as step lines.
+	for i, s := range series {
+		var pts []string
+		prevY := ypos(0)
+		for _, p := range s.points {
+			if p.Micros <= 0 {
+				continue
+			}
+			x := xpos(p.Micros)
+			pts = append(pts, coord(x)+","+coord(prevY), coord(x)+","+coord(ypos(p.Frac)))
+			prevY = ypos(p.Frac)
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+			seriesColor(i), strings.Join(pts, " "))
+		b.WriteByte('\n')
+		// Legend swatch.
+		lx, ly := marginL+10, marginT+10+float64(i)*16
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="10" height="10" fill="%s"/>`,
+			coord(lx), coord(ly-8), seriesColor(i))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" %s>%s</text>`,
+			coord(lx+14), coord(ly+1), tickTextStyle, escape(s.label))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// overheadComponent pairs a bar segment with its color.
+type overheadComponent struct {
+	name string
+	frac func(OverheadRow) Ratio
+}
+
+var overheadComponents = []overheadComponent{
+	{"attach", func(r OverheadRow) Ratio { return r.AttachFrac }},
+	{"detach", func(r OverheadRow) Ratio { return r.DetachFrac }},
+	{"rand", func(r OverheadRow) Ratio { return r.RandFrac }},
+	{"cond", func(r OverheadRow) Ratio { return r.CondFrac }},
+	{"other", func(r OverheadRow) Ratio { return r.OtherFrac }},
+}
+
+// svgOverheadBars renders the component-account breakdown as horizontal
+// stacked bars (one per configuration), each segment a component's share
+// of base time. Rows with the NaN sentinel (Base == 0) render as "n/a".
+func svgOverheadBars(rows []OverheadRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var maxOv float64
+	for _, r := range rows {
+		if r.Overhead.Valid() && float64(r.Overhead) > maxOv {
+			maxOv = float64(r.Overhead)
+		}
+	}
+	if maxOv == 0 {
+		maxOv = 1
+	}
+	rowH, gap := 22.0, 8.0
+	labelW := 120.0
+	legendH := 22.0
+	h := marginT + legendH + float64(len(rows))*(rowH+gap) + marginB
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" role="img" aria-label="%s">`,
+		coord(chartW), coord(h), coord(chartW), coord(h), escape("overhead breakdown"))
+	b.WriteByte('\n')
+	// Legend.
+	lx := labelW
+	for i, comp := range overheadComponents {
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="10" height="10" fill="%s"/>`,
+			coord(lx), coord(marginT), seriesColor(i))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" %s>%s</text>`,
+			coord(lx+14), coord(marginT+9), tickTextStyle, comp.name)
+		lx += 70
+	}
+	b.WriteByte('\n')
+	barW := chartW - labelW - marginR - 70 // room for the % annotation
+	for i, r := range rows {
+		y := marginT + legendH + float64(i)*(rowH+gap)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" %s>%s</text>`,
+			coord(labelW-8), coord(y+rowH/2+4), tickTextStyle, escape(r.Label))
+		if !r.Overhead.Valid() {
+			fmt.Fprintf(&b, `<text x="%s" y="%s" %s>n/a (no base cycles)</text>`,
+				coord(labelW), coord(y+rowH/2+4), tickTextStyle)
+			b.WriteByte('\n')
+			continue
+		}
+		x := labelW
+		for ci, comp := range overheadComponents {
+			f := float64(comp.frac(r))
+			if !comp.frac(r).Valid() || f <= 0 {
+				continue
+			}
+			w := barW * f / maxOv
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`,
+				coord(x), coord(y), coord(w), coord(rowH), seriesColor(ci))
+			x += w
+		}
+		fmt.Fprintf(&b, `<text x="%s" y="%s" %s>%.2f%%</text>`,
+			coord(x+6), coord(y+rowH/2+4), tickTextStyle, 100*float64(r.Overhead))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgTimelines renders one configuration's per-PMO exposure timelines:
+// one row per PMO, a rect per exposure window.
+func svgTimelines(g ExposureGroup) string {
+	if len(g.Timelines) == 0 {
+		return ""
+	}
+	var maxT float64
+	for _, tl := range g.Timelines {
+		for _, s := range tl.Spans {
+			if s.EndMicros > maxT {
+				maxT = s.EndMicros
+			}
+		}
+	}
+	if maxT == 0 {
+		return ""
+	}
+	labelW := 90.0
+	h := marginT + float64(len(g.Timelines))*(timelineRowH+timelineGapH) + marginB
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" role="img" aria-label="%s">`,
+		coord(chartW), coord(h), coord(chartW), coord(h), escape("exposure timeline "+g.Label))
+	b.WriteByte('\n')
+	spanW := chartW - labelW - marginR
+	for i, tl := range g.Timelines {
+		y := marginT + float64(i)*(timelineRowH+timelineGapH)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" %s>pmo %d</text>`,
+			coord(labelW-8), coord(y+timelineRowH/2+4), tickTextStyle, tl.PMO)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" %s/>`,
+			coord(labelW), coord(y+timelineRowH/2), coord(labelW+spanW), coord(y+timelineRowH/2), gridStyle)
+		for _, s := range tl.Spans {
+			x := labelW + spanW*s.StartMicros/maxT
+			w := spanW * (s.EndMicros - s.StartMicros) / maxT
+			if w < 0.5 {
+				w = 0.5 // keep sub-pixel windows visible
+			}
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" fill-opacity="0.8"/>`,
+				coord(x), coord(y), coord(w), coord(timelineRowH), seriesColor(0))
+		}
+		b.WriteByte('\n')
+	}
+	// Time axis labels.
+	for i := 0; i <= 4; i++ {
+		t := maxT * float64(i) / 4
+		x := labelW + spanW*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" %s>%s us</text>`,
+			coord(x), coord(h-10), tickTextStyle, axisLabel(t))
+	}
+	b.WriteString("\n</svg>\n")
+	return b.String()
+}
+
+// openSVG writes the standard chart envelope.
+func openSVG(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" role="img" aria-label="%s">`,
+		coord(chartW), coord(chartH), coord(chartW), coord(chartH), escape(title))
+	b.WriteByte('\n')
+}
+
+// escape escapes text for SVG/HTML attribute and element content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

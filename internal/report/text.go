@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Text renders the report for a terminal: the same exposure percentiles,
+// overhead accounts and regression verdict as the HTML document, in the
+// repository's aligned-table style.
+func Text(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	if r.Regression != nil {
+		fmt.Fprintf(&b, "\nRegression vs baseline: %s (tolerance %.1f%%, z=%.2f)\n",
+			strings.ToUpper(string(r.Regression.Verdict)), r.Regression.TolerancePct, r.Regression.Z)
+		t := stats.NewTable("metric", "exp", "baseline", "current", "delta%", "cell mean±CI", "n", "verdict")
+		for _, m := range r.Regression.Metrics {
+			delta, ci := "n/a", "n/a"
+			if m.DeltaPct.Valid() {
+				delta = fmt.Sprintf("%+.2f", float64(m.DeltaPct))
+			}
+			if m.MeanRelPct.Valid() && m.CIHalfPct.Valid() {
+				ci = fmt.Sprintf("%+.2f±%.2f", float64(m.MeanRelPct), float64(m.CIHalfPct))
+			}
+			t.AddRow(m.Name, m.Experiment, m.Base, m.Cur, delta, ci, m.N, m.Verdict)
+		}
+		b.WriteString(t.String())
+	}
+	for _, e := range r.Experiments {
+		fmt.Fprintf(&b, "\n== %s", e.Name)
+		if e.Opts != "" {
+			fmt.Fprintf(&b, " (%s)", e.Opts)
+		}
+		b.WriteString(" ==\n")
+		for _, d := range e.Dropped {
+			fmt.Fprintf(&b, "WARNING: cell %s dropped %d/%d trace events (ring overflow)\n",
+				d.Cell, d.Dropped, d.Total)
+		}
+		if e.Exposure != nil {
+			t := stats.NewTable("config", "cells", "EW n", "PMOs", "EW mean(us)", "p50", "p90", "p99", "max", "TEW n", "TEW mean(us)")
+			for _, g := range e.Exposure.Groups {
+				t.AddRow(g.Label, g.Cells, g.EW.Count, g.EW.PMOs,
+					fmt.Sprintf("%.2f", g.EW.MeanMicros),
+					fmt.Sprintf("%.2f", g.EW.P50),
+					fmt.Sprintf("%.2f", g.EW.P90),
+					fmt.Sprintf("%.2f", g.EW.P99),
+					fmt.Sprintf("%.2f", g.EW.MaxMicros),
+					g.TEW.Count, fmt.Sprintf("%.2f", g.TEW.MeanMicros))
+			}
+			b.WriteString("exposure windows:\n" + t.String())
+		}
+		if e.Attack != nil {
+			a := e.Attack
+			if a.DeadTimes > 0 {
+				fmt.Fprintf(&b, "attack: %d dead-time samples, mean %.1fus, %.1f%% >= %.0fus TEW target\n",
+					a.DeadTimes, a.DeadStats.MeanMicros, a.AtLeastTEWPct, a.TEWTargetMicros)
+			}
+			if a.Probes > 0 {
+				fmt.Fprintf(&b, "attack: %d probes / %d windows, %d in-window, %d hits (%d in-window)\n",
+					a.Probes, a.Windows, a.ProbesInWindow, a.ProbeHits, a.HitsInWindow)
+			}
+		}
+		if e.Overhead != nil {
+			t := stats.NewTable("config", "cells", "base", "attach", "detach", "rand", "cond", "other", "overhead%")
+			for _, row := range e.Overhead.Rows {
+				ov := "n/a"
+				if row.Overhead.Valid() {
+					ov = fmt.Sprintf("%.2f", 100*float64(row.Overhead))
+				}
+				t.AddRow(row.Label, row.Cells, row.Base, row.Attach, row.Detach,
+					row.Rand, row.Cond, row.Other, ov)
+			}
+			b.WriteString("cycle-overhead breakdown:\n" + t.String())
+		}
+	}
+	return b.String()
+}

@@ -180,6 +180,52 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MeanCI returns the mean of xs with a symmetric confidence interval
+// half-width at the given z score (1.96 for ~95% under the normal
+// approximation): mean ± z*sd/sqrt(n). With fewer than two samples the
+// half-width is 0 — a single deterministic sample carries no spread.
+func MeanCI(xs []float64, z float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = z * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
+// Percentile returns the p-th percentile (0-100) of xs using the
+// nearest-rank method on a sorted copy (0 for empty input).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
 // GeoMean returns the geometric mean of positive xs (0 if any are <= 0).
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {

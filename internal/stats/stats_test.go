@@ -159,3 +159,55 @@ func TestMeanGeoMean(t *testing.T) {
 		t.Fatal("degenerate geomean")
 	}
 }
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev(one sample) = %v, want 0", got)
+	}
+	// Known sample: {2,4,4,4,5,5,7,9} has sample sd = sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, half := MeanCI([]float64{10}, 1.96)
+	if mean != 10 || half != 0 {
+		t.Fatalf("MeanCI(one sample) = %v ± %v, want 10 ± 0", mean, half)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	mean, half = MeanCI(xs, 1.96)
+	if mean != 3 {
+		t.Fatalf("mean = %v, want 3", mean)
+	}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if math.Abs(half-want) > 1e-12 {
+		t.Fatalf("half = %v, want %v", half, want)
+	}
+	// A wider z widens the interval.
+	_, half3 := MeanCI(xs, 3)
+	if half3 <= half {
+		t.Fatalf("z=3 half %v not wider than z=1.96 half %v", half3, half)
+	}
+}
+
+func TestScalarPercentile(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(empty) = %v, want 0", got)
+	}
+	xs := []float64{3, 1, 2, 5, 4} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {90, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must stay untouched (sorted on a copy).
+	if xs[0] != 3 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/runner"
 )
 
@@ -95,6 +96,42 @@ func (g *Grid) Traces() []obs.CellTrace {
 
 // JSON renders the grid as indented JSON.
 func (g *Grid) JSON() ([]byte, error) { return json.MarshalIndent(g, "", "  ") }
+
+// ReportExperiment converts the grid's observability payload into the
+// report layer's input — the hook `terpreport` and `terpbench -report`
+// build run reports from. It returns nil when the run collected nothing.
+func (g *Grid) ReportExperiment() *report.Experiment {
+	if g.Obs == nil {
+		return nil
+	}
+	e := &report.Experiment{
+		Name: g.Name,
+		Opts: fmt.Sprintf("ops=%d scale=%d seed=%d", g.Opts.Ops, g.Opts.Scale, g.Opts.Seed),
+	}
+	e.Totals = g.Obs.Totals
+	for _, c := range g.Obs.Cells {
+		e.Cells = append(e.Cells, report.Cell{
+			Name:         c.Cell,
+			Metrics:      c.Metrics,
+			Events:       c.Events,
+			TraceEvents:  c.TraceEvents,
+			TraceDropped: c.TraceDropped,
+		})
+	}
+	return e
+}
+
+// ReportInput assembles the report input for a set of finished grids
+// (grids without observability payloads are skipped).
+func ReportInput(title string, grids []*Grid) report.Input {
+	in := report.Input{Title: title}
+	for _, g := range grids {
+		if e := g.ReportExperiment(); e != nil {
+			in.Experiments = append(in.Experiments, *e)
+		}
+	}
+	return in
+}
 
 // Format renders the grid in the experiment's table or figure layout.
 func (g *Grid) Format() string {
