@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,7 +51,28 @@ func main() {
 	tracePath := flag.String("trace", "", "record per-cell event traces and write Chrome trace JSON (Perfetto-loadable) to this file")
 	metrics := flag.Bool("metrics", false, "collect per-cell metrics; print tables and an account rollup")
 	reportPath := flag.String("report", "", "write a self-contained HTML run report to this file (implies tracing and metrics)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC() // settle allocations so the profile reflects live heap
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	if *exp != "all" {
 		ok := false

@@ -21,6 +21,13 @@
 // not raw event streams, so that mode reports overhead accounts and the
 // regression verdict; run an experiment directly for exposure timelines
 // and attack correlation.
+//
+// -gobench switches to wall-clock mode: it reads `go test -bench` text
+// output instead of running experiments, converts it to the bench-grid
+// format (-gobench-out writes the converted document, e.g. as a
+// BENCH_perf.json baseline), and with -baseline compares against a prior
+// conversion. Wall-clock metrics are informational unless -gate-perf is
+// set, because ns/op depends on the machine the benchmarks ran on.
 package main
 
 import (
@@ -48,11 +55,23 @@ func main() {
 	verdictPath := flag.String("verdict", "", "write the machine-readable regression verdict JSON to this file (requires -baseline)")
 	tolerance := flag.Float64("tolerance", 2, "regression tolerance in percent of the baseline total")
 	title := flag.String("title", "TERP run report", "report title")
+	gobench := flag.String("gobench", "", "read `go test -bench` text output from this file instead of running experiments")
+	gobenchOut := flag.String("gobench-out", "", "write the converted go-bench grid JSON to this file (requires -gobench)")
+	gatePerf := flag.Bool("gate-perf", false, "gate the verdict on wall-clock perf/* metrics too (use on controlled runner hardware only)")
 	flag.Parse()
 
 	if *verdictPath != "" && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "terpreport: -verdict requires -baseline")
 		os.Exit(2)
+	}
+	if *gobenchOut != "" && *gobench == "" {
+		fmt.Fprintln(os.Stderr, "terpreport: -gobench-out requires -gobench")
+		os.Exit(2)
+	}
+	ropts := report.RegressOpts{TolerancePct: *tolerance, GateWallClock: *gatePerf}
+
+	if *gobench != "" {
+		os.Exit(runGoBench(*gobench, *gobenchOut, *baseline, *verdictPath, ropts))
 	}
 
 	grids, err := loadGrids(*in, *exp, terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}, *parallel)
@@ -71,7 +90,7 @@ func main() {
 		check(err)
 		curGrids, err := report.ParseBench(curBytes)
 		check(err)
-		rep.Regression = report.Compare(curGrids, baseGrids, report.RegressOpts{TolerancePct: *tolerance})
+		rep.Regression = report.Compare(curGrids, baseGrids, ropts)
 		if rep.Regression == nil {
 			fmt.Fprintln(os.Stderr, "terpreport: baseline shares no experiment with the current run; nothing to compare")
 			os.Exit(2)
@@ -93,6 +112,44 @@ func main() {
 	if rep.Regression != nil {
 		os.Exit(rep.Regression.ExitCode())
 	}
+}
+
+// runGoBench handles wall-clock mode: parse `go test -bench` output,
+// optionally persist the converted grid, optionally compare against a
+// baseline. Returns the process exit code.
+func runGoBench(inPath, outPath, baselinePath, verdictPath string, ropts report.RegressOpts) int {
+	buf, err := os.ReadFile(inPath)
+	check(err)
+	grids, err := report.ParseGoBench(buf)
+	check(err)
+
+	if outPath != "" {
+		out, err := json.MarshalIndent(grids, "", "  ")
+		check(err)
+		check(os.WriteFile(outPath, append(out, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "terpreport: wrote %d benchmark cells to %s\n", len(grids[0].Obs.Cells), outPath)
+	}
+	if baselinePath == "" {
+		return 0
+	}
+
+	base, err := os.ReadFile(baselinePath)
+	check(err)
+	baseGrids, err := report.ParseBench(base)
+	check(err)
+	reg := report.Compare(grids, baseGrids, ropts)
+	if reg == nil {
+		fmt.Fprintln(os.Stderr, "terpreport: baseline shares no experiment with the go-bench input; nothing to compare")
+		return 2
+	}
+	vbuf, err := reg.VerdictJSON()
+	check(err)
+	if verdictPath != "" {
+		check(os.WriteFile(verdictPath, append(vbuf, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "terpreport: wrote verdict to %s\n", verdictPath)
+	}
+	fmt.Printf("%s\n", vbuf)
+	return reg.ExitCode()
 }
 
 // loadGrids either parses a saved grids document or runs the requested

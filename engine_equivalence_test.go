@@ -1,0 +1,58 @@
+package terp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// runGridJSON executes one experiment with the engines selected by legacy
+// and returns the serialized grid.
+func runGridJSON(t *testing.T, name string, parallel int, legacy bool) []byte {
+	t.Helper()
+	core.UseLegacyAccessPath = legacy
+	runner.UseLegacyEngine = legacy
+	defer func() {
+		core.UseLegacyAccessPath = false
+		runner.UseLegacyEngine = false
+	}()
+	g, err := Run(ExperimentSpec{
+		Name:     name,
+		Opts:     ExpOpts{Ops: 600, Seed: 7},
+		Parallel: parallel,
+		Obs:      obs.Config{Metrics: true},
+	})
+	if err != nil {
+		t.Fatalf("%s (legacy=%v): %v", name, legacy, err)
+	}
+	buf, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestEngineEquivalence is the whole-system determinism contract of the
+// hot-path engine: the optimized execution path (linked interpreter,
+// translation-cached access path) must produce byte-identical result
+// grids to the legacy reference path, for whisper and spec experiments,
+// serial and parallel. Fresh caches per run keep the engines honest
+// (runner.DefaultCache memoizes compiled programs across calls, but cells
+// build everything else from scratch).
+func TestEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-experiment equivalence is not a -short test")
+	}
+	for _, exp := range []string{"table3", "table4", "fig11"} {
+		for _, parallel := range []int{1, 8} {
+			ref := runGridJSON(t, exp, parallel, true)
+			opt := runGridJSON(t, exp, parallel, false)
+			if string(ref) != string(opt) {
+				t.Errorf("%s parallel=%d: optimized grid differs from legacy reference (%d vs %d bytes)",
+					exp, parallel, len(ref), len(opt))
+			}
+		}
+	}
+}

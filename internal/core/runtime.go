@@ -44,12 +44,24 @@ func (c Counters) SilentPercent() float64 {
 	return 100 * float64(c.SilentOps) / float64(c.CondOps)
 }
 
+// UseLegacyAccessPath, when set before NewRuntime, disables the
+// per-thread last-translation cache so every access resolves its PMO,
+// mapping, matrix entry and protection domain through the full map-lookup
+// path. The optimized and legacy paths charge identical simulated cycles
+// and produce identical counters and events; the switch exists so the
+// equivalence tests (and suspicious users) can compare whole runs.
+var UseLegacyAccessPath = false
+
 // Runtime is one protected process: the PMO attach/detach state machine
 // for a chosen scheme plus all architectural structures it needs. A
 // Runtime is driven by one or more ThreadCtx values; under the cooperative
 // simulator only one thread executes at a time, so Runtime needs no locks.
 type Runtime struct {
 	Cfg params.Config
+
+	// fastPath enables the per-thread last-translation cache (the
+	// inverse of UseLegacyAccessPath, latched at construction).
+	fastPath bool
 
 	mgr     *pmo.Manager
 	as      *paging.AddressSpace
@@ -81,16 +93,17 @@ type Runtime struct {
 func NewRuntime(cfg params.Config, mgr *pmo.Manager) *Runtime {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := &Runtime{
-		Cfg:     cfg,
-		mgr:     mgr,
-		as:      paging.NewAddressSpace(rng),
-		matrix:  merr.NewMatrix(),
-		domains: mpk.NewAllocator(),
-		states:  make(map[uint32]*semantics.State),
-		perms:   make(map[uint32]paging.Perm),
-		tracker: expo.NewTracker(),
-		l2:      nvm.NewCache(params.L2Size, params.L2Ways, params.LineSize),
-		rng:     rng,
+		Cfg:      cfg,
+		fastPath: !UseLegacyAccessPath,
+		mgr:      mgr,
+		as:       paging.NewAddressSpace(rng),
+		matrix:   merr.NewMatrix(),
+		domains:  mpk.NewAllocator(),
+		states:   make(map[uint32]*semantics.State),
+		perms:    make(map[uint32]paging.Perm),
+		tracker:  expo.NewTracker(),
+		l2:       nvm.NewCache(params.L2Size, params.L2Ways, params.LineSize),
+		rng:      rng,
 	}
 	switch cfg.Scheme {
 	case params.BasicSem:
@@ -183,12 +196,32 @@ func (r *Runtime) NewThread(t *sim.Thread) *ThreadCtx {
 // ThreadCtx is one simulated thread executing under the runtime: its MPK
 // permission registers, private TLB and L1 cache, and its clock.
 type ThreadCtx struct {
-	rt   *Runtime
-	th   *sim.Thread
-	regs mpk.Registers
-	tlb  *paging.TLB
-	l1   *nvm.Cache
-	obs  *obs.Track // nil when tracing is off
+	rt    *Runtime
+	th    *sim.Thread
+	regs  mpk.Registers
+	tlb   *paging.TLB
+	l1    *nvm.Cache
+	obs   *obs.Track // nil when tracing is off
+	trans transCache
+}
+
+// transCache is the per-thread last-translation cache: the resolved state
+// of the most recent access, valid only while the address-space epoch is
+// unchanged (every attach, detach and randomization bumps it — and every
+// matrix or domain mutation co-occurs with one of those). The cached
+// permission state is re-verified on every hit (merr.CheckFast for the
+// process matrix, mpk.Registers.Allows for the thread domain), so a hit
+// only skips the map lookups and the matrix search, never a check, a
+// cycle charge, a counter or an event.
+type transCache struct {
+	valid bool
+	epoch uint64
+	pool  uint32
+	p     *pmo.PMO
+	m     *paging.Mapping
+	e     *merr.MatrixEntry
+	d     mpk.Domain
+	dok   bool
 }
 
 // Thread returns the underlying simulated thread.
@@ -651,17 +684,48 @@ func (c *ThreadCtx) revokeThread(p *pmo.PMO, at uint64) {
 // --- loads and stores ----------------------------------------------------
 
 // access runs the full protection and timing path for one PMO access.
+//
+// When the fast path is enabled, the map lookups of the resolution stage
+// (PMO by pool, mapping by PMO, matrix row search, protection domain by
+// PMO) are served from the thread's last-translation cache whenever the
+// access hits the same PMO as the previous one and no attach, detach or
+// randomization happened in between (address-space epoch check). Every
+// simulated-cost element still executes on a hit — the TLB lookup, the
+// matrix-check cycle and the re-verification of both permission layers,
+// the cache-hierarchy walk — so the fast and legacy paths charge the same
+// cycles, bump the same counters and emit the same events.
 func (c *ThreadCtx) access(o pmo.OID, want paging.Perm, n int) (p *pmo.PMO, va uint64, err error) {
 	r := c.rt
-	p, err = r.mgr.Lookup(o.Pool())
-	if err != nil {
-		return nil, 0, err
-	}
-	m, ok := r.as.Mapping(p.ID)
-	if !ok || o.Offset() >= p.Size {
-		r.Counts.Faults++
-		r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
-		return nil, 0, &Fault{Kind: SegFault, OID: o, Want: want, Thread: c.th.ID}
+	var m *paging.Mapping
+	var e *merr.MatrixEntry
+	var d mpk.Domain
+	var dok bool
+	tc := &c.trans
+	if r.fastPath && tc.valid && tc.pool == o.Pool() && tc.epoch == r.as.Epoch() {
+		p, m, e, d, dok = tc.p, tc.m, tc.e, tc.d, tc.dok
+		if o.Offset() >= p.Size {
+			r.Counts.Faults++
+			r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
+			return nil, 0, &Fault{Kind: SegFault, OID: o, Want: want, Thread: c.th.ID}
+		}
+	} else {
+		p, err = r.mgr.Lookup(o.Pool())
+		if err != nil {
+			return nil, 0, err
+		}
+		var ok bool
+		m, ok = r.as.Mapping(p.ID)
+		if !ok || o.Offset() >= p.Size {
+			r.Counts.Faults++
+			r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
+			return nil, 0, &Fault{Kind: SegFault, OID: o, Want: want, Thread: c.th.ID}
+		}
+		d, dok = r.domains.DomainOf(p.ID)
+		if r.fastPath {
+			e, _ = r.matrix.Entry(p.ID)
+			*tc = transCache{valid: true, epoch: r.as.Epoch(), pool: o.Pool(),
+				p: p, m: m, e: e, d: d, dok: dok}
+		}
 	}
 	va = m.Base + o.Offset()
 
@@ -675,17 +739,20 @@ func (c *ThreadCtx) access(o pmo.OID, want paging.Perm, n int) (p *pmo.PMO, va u
 	c.th.DirectCharge(sim.Base, c.tlb.Lookup(va))
 
 	if r.Cfg.Scheme != params.Unprotected {
-		// Permission matrix check (1 cycle, after TLB).
+		// Permission matrix check (1 cycle, after TLB). CheckFast verifies
+		// the cached row; on any mismatch CheckAt redoes the full search
+		// with identical counter and event effects.
 		c.th.DirectCharge(sim.Other, params.PermMatrixCheck)
-		if _, ok := r.matrix.CheckAt(va, want, c.th.Clock); !ok {
-			r.Counts.Faults++
-			r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
-			return nil, 0, &Fault{Kind: PermFault, OID: o, Want: want, Thread: c.th.ID}
+		if !r.fastPath || !r.matrix.CheckFast(e, va, want) {
+			if _, ok := r.matrix.CheckAt(va, want, c.th.Clock); !ok {
+				r.Counts.Faults++
+				r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
+				return nil, 0, &Fault{Kind: PermFault, OID: o, Want: want, Thread: c.th.ID}
+			}
 		}
 		// Thread permission check (TEW schemes only).
 		if r.Cfg.TEWTarget != 0 {
-			d, ok := r.domains.DomainOf(p.ID)
-			if !ok || !c.regs.Allows(d, want) {
+			if !dok || !c.regs.Allows(d, want) {
 				r.Counts.Faults++
 				r.emit(c.th.Clock, c.th.ID, p.ID, TraceFault)
 				return nil, 0, &Fault{Kind: ThreadPermFault, OID: o, Want: want, Thread: c.th.ID}

@@ -28,15 +28,35 @@ var (
 	ErrDepth = errors.New("interp: call depth exceeded")
 )
 
-// Machine executes one program on behalf of one simulated thread.
+// Machine executes one program on behalf of one simulated thread. A
+// machine runs in one of two modes: the legacy block interpreter (New)
+// resolves symbol operands through string-keyed maps on every memory
+// instruction, while the linked engine (NewLinked) executes the
+// pre-resolved flat form produced by ir.Link through dense slot tables and
+// a pooled call-frame stack. Both modes execute the same instructions and
+// charge identical simulated cycles; the legacy mode is kept as the
+// reference the equivalence tests compare against.
 type Machine struct {
-	prog  *ir.Program
-	ctx   *core.ThreadCtx
-	pmos  map[string]*pmo.PMO
-	elems map[string]int64
+	prog   *ir.Program
+	linked *ir.Linked
+	ctx    *core.ThreadCtx
+	pmos   map[string]*pmo.PMO
+	elems  map[string]int64
 	// dram holds volatile array storage and synthetic base addresses.
 	dram     map[string][]int64
 	dramBase map[string]uint64
+
+	// Slot tables for the linked engine, indexed by declaration order
+	// (the slot space ir.Link resolves into). They mirror the maps above
+	// and are re-derived whenever PMO or DRAM state is shared.
+	pmoTab      []*pmo.PMO
+	elemTab     []int64
+	dramTab     [][]int64
+	dramBaseTab []uint64
+
+	// frames is the pooled call-frame stack: register files returned by
+	// finished calls, reused by the next call instead of allocating.
+	frames [][]int64
 
 	// MaxSteps bounds execution (default 2e9).
 	MaxSteps uint64
@@ -80,7 +100,37 @@ func New(prog *ir.Program, ctx *core.ThreadCtx) (*Machine, error) {
 		m.dramBase[d.Name] = base
 		base += uint64(d.Elems)*8 + 4096
 	}
+	m.pmoTab = make([]*pmo.PMO, len(prog.PMOs))
+	m.elemTab = make([]int64, len(prog.PMOs))
+	m.dramTab = make([][]int64, len(prog.DRAMs))
+	m.dramBaseTab = make([]uint64, len(prog.DRAMs))
+	m.reindex()
 	return m, nil
+}
+
+// NewLinked prepares a machine that executes the linked program form on
+// the zero-allocation access path. PMO and DRAM state is created exactly
+// as New does (the linked form shares its program's declarations).
+func NewLinked(l *ir.Linked, ctx *core.ThreadCtx) (*Machine, error) {
+	m, err := New(l.Prog, ctx)
+	if err != nil {
+		return nil, err
+	}
+	m.linked = l
+	return m, nil
+}
+
+// reindex refreshes the dense slot tables from the name-keyed state, in
+// declaration order (the slot space the link pass resolves into).
+func (m *Machine) reindex() {
+	for i, d := range m.prog.PMOs {
+		m.pmoTab[i] = m.pmos[d.Name]
+		m.elemTab[i] = m.elems[d.Name]
+	}
+	for i, d := range m.prog.DRAMs {
+		m.dramTab[i] = m.dram[d.Name]
+		m.dramBaseTab[i] = m.dramBase[d.Name]
+	}
 }
 
 // SharePMOs copies another machine's PMO handles (multi-threaded runs
@@ -91,6 +141,7 @@ func (m *Machine) SharePMOs(o *Machine) {
 		m.pmos[k] = v
 		m.elems[k] = o.elems[k]
 	}
+	m.reindex()
 }
 
 // ShareDRAM makes this machine alias another machine's volatile arrays
@@ -100,6 +151,7 @@ func (m *Machine) ShareDRAM(o *Machine) {
 		m.dram[k] = v
 		m.dramBase[k] = o.dramBase[k]
 	}
+	m.reindex()
 }
 
 // PMO returns the PMO backing a persistent array.
@@ -111,6 +163,13 @@ func (m *Machine) PMO(name string) (*pmo.PMO, bool) {
 // Run executes the named function with the given arguments and returns
 // its result.
 func (m *Machine) Run(fn string, args ...int64) (int64, error) {
+	if m.linked != nil {
+		f, ok := m.linked.Func(fn)
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoFunc, fn)
+		}
+		return m.invokeLinked(f, args)
+	}
 	f, ok := m.prog.Funcs[fn]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoFunc, fn)

@@ -110,6 +110,21 @@ func (m *Matrix) CheckAt(va uint64, want paging.Perm, now uint64) (*MatrixEntry,
 	return nil, false
 }
 
+// CheckFast verifies the access against a single candidate entry (a
+// cached translation's matrix row) without searching the matrix. On a hit
+// it counts the check — exactly what CheckAt would have counted — and
+// returns true. On any miss (nil entry, address outside the entry's
+// range, insufficient permission) it counts nothing and returns false so
+// the caller can fall back to CheckAt, which then performs the full
+// search with identical counter and event effects.
+func (m *Matrix) CheckFast(e *MatrixEntry, va uint64, want paging.Perm) bool {
+	if e == nil || va < e.Base || va-e.Base >= e.Size || !e.Perm.Allows(want) {
+		return false
+	}
+	m.Checks++
+	return true
+}
+
 // Entry returns the matrix entry for a PMO, if present.
 func (m *Matrix) Entry(pmoID uint32) (*MatrixEntry, bool) {
 	e, ok := m.entries[pmoID]

@@ -1,45 +1,76 @@
 package nvm
 
 // Cache is a set-associative cache model with LRU replacement, used for
-// the simulated L1D and shared L2 of Table II. It tracks tags only (data
-// lives in the devices); lookups report hit/miss so the memory hierarchy
-// can charge the right latency.
+// the simulated L1D and shared L2 of Table II (and, in internal/paging,
+// for the two TLB levels). It tracks tags only (data lives in the
+// devices); lookups report hit/miss so the memory hierarchy can charge
+// the right latency.
+//
+// The representation is tuned for the simulator's hottest loop (every
+// simulated memory access walks up to four of these models):
+//
+//   - A way is a 16-byte {tag, lru} pair and the ways of one set are
+//     contiguous, so the tag scan of an 8-way set touches two cache
+//     lines and the common most-recently-used probe touches one.
+//   - Validity is one bit per way in a per-set header, so InvalidateAll
+//     is a short sweep over the headers rather than over every way.
+//   - The LRU clock is a single global tick. LRU only compares ticks
+//     within one set, and a global monotone clock orders a set's
+//     accesses exactly as a per-set clock would, so the victim choice —
+//     and therefore every hit/miss outcome — is unchanged.
+//
+// Replacement semantics are exactly the classic model: hit updates LRU;
+// miss fills the first invalid way, else the least-recently-used one
+// (ties to the lowest index).
 type Cache struct {
-	sets     []cacheSet
+	ways []cway
+	sets []cset
+
+	nways    int
 	setMask  uint64
 	lineBits uint
+	tagShift uint
+	tick     uint64
+	epoch    uint64
 	hits     uint64
 	misses   uint64
 }
 
-type cacheSet struct {
-	tags  []uint64 // tag | valid bit in bit 63 is avoided; use separate valid
-	valid []bool
-	lru   []uint64 // larger = more recent
-	tick  uint64
+// cway is one cache way: the stored tag and its last-use tick.
+type cway struct {
+	tag uint64
+	lru uint64
+}
+
+// cset is a set header: the most-recently-used way index, a validity
+// bitmask over the set's ways, and the invalidation epoch the mask was
+// last reset under (see InvalidateAll).
+type cset struct {
+	mru   int32
+	valid uint32
+	epoch uint64
 }
 
 // NewCache builds a cache of the given total size, associativity and line
-// size (all in bytes; sizes must be powers of two).
+// size (all in bytes; sizes must be powers of two, ways at most 32).
 func NewCache(size, ways, line int) *Cache {
+	if ways > 32 {
+		panic("nvm: cache associativity above 32 not supported")
+	}
 	nsets := size / (ways * line)
 	if nsets < 1 {
 		nsets = 1
 	}
 	c := &Cache{
-		sets:    make([]cacheSet, nsets),
+		ways:    make([]cway, nsets*ways),
+		sets:    make([]cset, nsets),
+		nways:   ways,
 		setMask: uint64(nsets - 1),
 	}
 	for l := line; l > 1; l >>= 1 {
 		c.lineBits++
 	}
-	for i := range c.sets {
-		c.sets[i] = cacheSet{
-			tags:  make([]uint64, ways),
-			valid: make([]bool, ways),
-			lru:   make([]uint64, ways),
-		}
-	}
+	c.tagShift = uint(popcountMask(c.setMask))
 	return c
 }
 
@@ -47,42 +78,65 @@ func NewCache(size, ways, line int) *Cache {
 // whether it hit.
 func (c *Cache) Access(a uint64) bool {
 	lineAddr := a >> c.lineBits
-	set := &c.sets[lineAddr&c.setMask]
-	tag := lineAddr >> uint(popcountMask(c.setMask))
-	set.tick++
-	for i, t := range set.tags {
-		if set.valid[i] && t == tag {
-			set.lru[i] = set.tick
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> c.tagShift
+	c.tick++
+	tick := c.tick
+	s := &c.sets[set]
+	base := set * c.nways
+	if s.epoch != c.epoch {
+		// A whole-cache invalidation happened since this set was last
+		// touched: reset its validity mask lazily.
+		s.epoch = c.epoch
+		s.valid = 0
+	}
+
+	// Most-recently-used way first: consecutive accesses to one line are
+	// the common case in the element loops the simulator runs.
+	if m := int(s.mru); s.valid&(1<<uint(m)) != 0 {
+		if w := &c.ways[base+m]; w.tag == tag {
+			w.lru = tick
 			c.hits++
 			return true
 		}
 	}
-	c.misses++
-	// Fill: evict LRU way.
-	victim := 0
-	for i := range set.tags {
-		if !set.valid[i] {
-			victim = i
-			break
+
+	// One pass finds both a hit and the miss victim. Invalid ways scan
+	// as LRU 0 (valid ticks start at 1) with first-invalid-wins, so the
+	// victim is the first invalid way, else the least-recently-used one
+	// (ties to the lowest index) — exactly the classic sweep's choice.
+	ways := c.ways[base : base+c.nways]
+	victim, vlru := 0, ^uint64(0)
+	for i := range ways {
+		if s.valid&(1<<uint(i)) == 0 {
+			if vlru != 0 {
+				victim, vlru = i, 0
+			}
+			continue
 		}
-		if set.lru[i] < set.lru[victim] {
-			victim = i
+		if ways[i].tag == tag {
+			ways[i].lru = tick
+			s.mru = int32(i)
+			c.hits++
+			return true
+		}
+		if ways[i].lru < vlru {
+			victim, vlru = i, ways[i].lru
 		}
 	}
-	set.tags[victim] = tag
-	set.valid[victim] = true
-	set.lru[victim] = set.tick
+	ways[victim] = cway{tag: tag, lru: tick}
+	s.valid |= 1 << uint(victim)
+	s.mru = int32(victim)
+	c.misses++
 	return false
 }
 
 // InvalidateAll empties the cache (used on randomization remaps, which
 // change the virtual placement of PMO lines in a virtually-indexed model).
+// It is O(1): each set clears its validity mask lazily on its next access
+// when it notices the cache epoch moved.
 func (c *Cache) InvalidateAll() {
-	for i := range c.sets {
-		for j := range c.sets[i].valid {
-			c.sets[i].valid[j] = false
-		}
-	}
+	c.epoch++
 }
 
 // Stats returns (hits, misses).

@@ -38,11 +38,28 @@ func (k Kind) String() string {
 	return "NVM"
 }
 
+// maxTablePages bounds the direct page-table representation: devices of
+// up to this many pages (4 GB at 4 KB pages, an 8 MB pointer table) index
+// their pages through a flat slice; larger devices fall back to the
+// sparse map. Both are materialize-on-first-touch.
+const maxTablePages = 1 << 20
+
 // Device is one sparse byte-addressable memory device.
 type Device struct {
 	kind  Kind
 	size  uint64
-	pages map[uint64][]byte
+	pages map[uint64][]byte // sparse store (nil when table is in use)
+	table [][]byte          // direct page table (nil for huge devices)
+	// npages counts materialized pages under the table representation.
+	npages int
+
+	// lastPN/lastPage cache the most recently touched materialized page,
+	// skipping the page-map lookup on the word fast paths. The cache is
+	// dropped whenever a page can disappear (Zero, Restore); page
+	// materialization only adds entries and never moves existing ones, so
+	// a cached pointer otherwise stays valid.
+	lastPN   uint64
+	lastPage []byte
 
 	// buf, when non-nil, is the volatile persist buffer: writes stay
 	// volatile until flushed and fenced (see EnablePersistBuffer).
@@ -57,7 +74,13 @@ var ErrOutOfRange = errors.New("nvm: access out of device range")
 
 // NewDevice creates a device of the given technology and byte size.
 func NewDevice(kind Kind, size uint64) *Device {
-	return &Device{kind: kind, size: size, pages: make(map[uint64][]byte)}
+	d := &Device{kind: kind, size: size}
+	if n := (size + pageSize - 1) / pageSize; n <= maxTablePages {
+		d.table = make([][]byte, n)
+	} else {
+		d.pages = make(map[uint64][]byte)
+	}
+	return d
 }
 
 // Kind returns the device technology.
@@ -72,10 +95,47 @@ func (d *Device) Persistent() bool { return d.kind == NVM }
 // page returns the backing page for offset, materializing it if needed.
 func (d *Device) page(off uint64, materialize bool) []byte {
 	pn := off / pageSize
+	if d.table != nil {
+		p := d.table[pn]
+		if p == nil && materialize {
+			p = make([]byte, pageSize)
+			d.table[pn] = p
+			d.npages++
+		}
+		return p
+	}
 	p := d.pages[pn]
 	if p == nil && materialize {
 		p = make([]byte, pageSize)
 		d.pages[pn] = p
+	}
+	return p
+}
+
+// pageFast is page() with the map lookup shortcut: table-backed devices
+// already resolve in one indexed load, and map-backed devices go through
+// the last-page cache first.
+func (d *Device) pageFast(off uint64, materialize bool) []byte {
+	pn := off / pageSize
+	if d.table != nil {
+		p := d.table[pn]
+		if p == nil && materialize {
+			p = make([]byte, pageSize)
+			d.table[pn] = p
+			d.npages++
+		}
+		return p
+	}
+	if d.lastPage != nil && pn == d.lastPN {
+		return d.lastPage
+	}
+	p := d.pages[pn]
+	if p == nil && materialize {
+		p = make([]byte, pageSize)
+		d.pages[pn] = p
+	}
+	if p != nil {
+		d.lastPN, d.lastPage = pn, p
 	}
 	return p
 }
@@ -141,8 +201,22 @@ func (d *Device) WriteAt(b []byte, off uint64) error {
 	return nil
 }
 
-// Read8 reads a little-endian 64-bit word at off.
+// Read8 reads a little-endian 64-bit word at off. Words contained in one
+// page are served straight from the backing page (the common case: PMO
+// element accesses are 8-byte aligned); page-straddling words take the
+// general ReadAt path. Both paths count the same 8 read bytes.
 func (d *Device) Read8(off uint64) (uint64, error) {
+	if in := off % pageSize; in <= pageSize-8 {
+		if err := d.check(off, 8); err != nil {
+			return 0, err
+		}
+		d.Reads += 8
+		p := d.pageFast(off, false)
+		if p == nil {
+			return 0, nil
+		}
+		return le64(p[in : in+8]), nil
+	}
 	var b [8]byte
 	if err := d.ReadAt(b[:], off); err != nil {
 		return 0, err
@@ -150,8 +224,18 @@ func (d *Device) Read8(off uint64) (uint64, error) {
 	return le64(b[:]), nil
 }
 
-// Write8 writes a little-endian 64-bit word at off.
+// Write8 writes a little-endian 64-bit word at off. Like Read8 it writes
+// in-page words directly; with a persist buffer enabled it takes the
+// general path, which routes the bytes through the volatile line model.
 func (d *Device) Write8(off uint64, v uint64) error {
+	if in := off % pageSize; in <= pageSize-8 && d.buf == nil {
+		if err := d.check(off, 8); err != nil {
+			return err
+		}
+		d.Writes += 8
+		put64(d.pageFast(off, true)[in:in+8], v)
+		return nil
+	}
 	var b [8]byte
 	put64(b[:], v)
 	return d.WriteAt(b[:], off)
@@ -162,6 +246,7 @@ func (d *Device) Zero(off uint64, n uint64) error {
 	if err := d.check(off, int(n)); err != nil {
 		return err
 	}
+	d.lastPage = nil // whole pages may be dropped below
 	var zeros []byte
 	for n > 0 {
 		in := off % pageSize
@@ -176,7 +261,7 @@ func (d *Device) Zero(off uint64, n uint64) error {
 			d.buf.dirty(off, zeros[:m])
 		}
 		if in == 0 && m == pageSize {
-			delete(d.pages, off/pageSize)
+			d.dropPage(off / pageSize)
 		} else if p := d.page(off, false); p != nil {
 			for i := in; i < in+m; i++ {
 				p[i] = 0
@@ -188,10 +273,33 @@ func (d *Device) Zero(off uint64, n uint64) error {
 	return nil
 }
 
+// dropPage discards a whole materialized page.
+func (d *Device) dropPage(pn uint64) {
+	if d.table != nil {
+		if d.table[pn] != nil {
+			d.table[pn] = nil
+			d.npages--
+		}
+		return
+	}
+	delete(d.pages, pn)
+}
+
 // Snapshot captures the full device contents. Used to emulate the state
 // that survives a crash (for NVM) in crash-consistency tests.
 func (d *Device) Snapshot() map[uint64][]byte {
-	s := make(map[uint64][]byte, len(d.pages))
+	s := make(map[uint64][]byte, d.FootprintPages())
+	if d.table != nil {
+		for pn, p := range d.table {
+			if p == nil {
+				continue
+			}
+			cp := make([]byte, pageSize)
+			copy(cp, p)
+			s[uint64(pn)] = cp
+		}
+		return s
+	}
 	for pn, p := range d.pages {
 		cp := make([]byte, pageSize)
 		copy(cp, p)
@@ -204,11 +312,23 @@ func (d *Device) Snapshot() map[uint64][]byte {
 // power cycle, so an enabled persist buffer empties: the restored bytes
 // are durable and no volatile lines survive.
 func (d *Device) Restore(s map[uint64][]byte) {
-	d.pages = make(map[uint64][]byte, len(s))
-	for pn, p := range s {
-		cp := make([]byte, pageSize)
-		copy(cp, p)
-		d.pages[pn] = cp
+	d.lastPage = nil
+	if d.table != nil {
+		clear(d.table)
+		d.npages = 0
+		for pn, p := range s {
+			cp := make([]byte, pageSize)
+			copy(cp, p)
+			d.table[pn] = cp
+			d.npages++
+		}
+	} else {
+		d.pages = make(map[uint64][]byte, len(s))
+		for pn, p := range s {
+			cp := make([]byte, pageSize)
+			copy(cp, p)
+			d.pages[pn] = cp
+		}
 	}
 	if d.buf != nil {
 		d.buf.reset()
@@ -216,7 +336,12 @@ func (d *Device) Restore(s map[uint64][]byte) {
 }
 
 // FootprintPages returns the number of materialized pages.
-func (d *Device) FootprintPages() int { return len(d.pages) }
+func (d *Device) FootprintPages() int {
+	if d.table != nil {
+		return d.npages
+	}
+	return len(d.pages)
+}
 
 func le64(b []byte) uint64 {
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |

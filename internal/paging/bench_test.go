@@ -1,0 +1,25 @@
+package paging
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+// BenchmarkTLBHit measures the translation fast case the simulator pays
+// on every memory access: a lookup that hits the L1 TLB.
+func BenchmarkTLBHit(b *testing.B) {
+	t := NewTLB()
+	// A small ring of pages that fits comfortably in the L1 TLB.
+	const pages = 16
+	for p := uint64(0); p < pages; p++ {
+		t.Lookup(p << params.PageShift)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var va uint64
+	for i := 0; i < b.N; i++ {
+		t.Lookup(va)
+		va = (va + params.PageSize) % (pages << params.PageShift)
+	}
+}

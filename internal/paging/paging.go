@@ -108,11 +108,20 @@ type AddressSpace struct {
 	maps []*Mapping // sorted by Base
 	byID map[uint32]*Mapping
 
+	// epoch counts mapping mutations (attach, detach, randomize). Any
+	// cached translation is valid only while the epoch is unchanged; the
+	// per-thread last-translation cache in core keys on it.
+	epoch uint64
+
 	// Walks counts page-table walks (both-level TLB misses).
 	Walks uint64
 	// Shootdowns counts TLB shootdowns (detach and randomize).
 	Shootdowns uint64
 }
+
+// Epoch returns the mutation epoch: it changes whenever any mapping is
+// installed, removed or moved, invalidating cached translations.
+func (s *AddressSpace) Epoch() uint64 { return s.epoch }
 
 // NewAddressSpace creates an empty address space with a deterministic
 // randomization source.
@@ -163,6 +172,7 @@ func (s *AddressSpace) Attach(pmoID uint32, size uint64, dev *nvm.Device, devOff
 	m := &Mapping{PMOID: pmoID, Base: base, Size: size, Dev: dev, DevOff: devOff, Perm: perm}
 	s.insert(m)
 	s.byID[pmoID] = m
+	s.epoch++
 	return m, nil
 }
 
@@ -187,6 +197,7 @@ func (s *AddressSpace) Detach(pmoID uint32) error {
 			break
 		}
 	}
+	s.epoch++
 	s.Shootdowns++
 	return nil
 }
@@ -214,6 +225,7 @@ func (s *AddressSpace) Randomize(pmoID uint32) (*Mapping, error) {
 	}
 	m.Base = base
 	s.insert(m)
+	s.epoch++
 	s.Shootdowns++
 	return m, nil
 }

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// GoBenchGridName is the experiment name ParseGoBench stores wall-clock
+// benchmark results under. Regression comparison pairs grids by name, so
+// go-bench baselines only ever compare against other go-bench runs.
+const GoBenchGridName = "perf"
+
+// goBenchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkExecALU/linked-8   14601   82868 ns/op   0 B/op   0 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix; it is stripped from the cell
+// name so baselines compare across machines with different core counts.
+var goBenchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// ParseGoBench parses `go test -bench` text output into a single-element
+// BenchGrid document named "perf", one cell per benchmark with the
+// counters perf/ns_op, perf/bytes_op and perf/allocs_op (ns/op rounded to
+// the nearest nanosecond). The result feeds the same Compare machinery as
+// the simulated-cycle grids; wall-clock metrics stay informational unless
+// RegressOpts.GateWallClock is set.
+func ParseGoBench(data []byte) ([]BenchGrid, error) {
+	bo := &BenchObs{Totals: obs.NewSnapshot()}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := goBenchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		s := obs.NewSnapshot()
+		if err := parseBenchFields(m[2], s); err != nil {
+			return nil, fmt.Errorf("report: parsing bench line %q: %w", line, err)
+		}
+		bo.Cells = append(bo.Cells, BenchCell{Cell: m[1], Metrics: s})
+		bo.Totals.Merge(s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading bench output: %w", err)
+	}
+	if len(bo.Cells) == 0 {
+		return nil, fmt.Errorf("report: no benchmark result lines found")
+	}
+	return []BenchGrid{{Name: GoBenchGridName, Obs: bo}}, nil
+}
+
+// parseBenchFields consumes the "<value> <unit>" pairs after the
+// iteration count.
+func parseBenchFields(fields string, s *obs.Snapshot) error {
+	parts := strings.Fields(fields)
+	for i := 0; i+1 < len(parts); i += 2 {
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %w", parts[i], err)
+		}
+		var name string
+		switch parts[i+1] {
+		case "ns/op":
+			name = "perf/ns_op"
+		case "B/op":
+			name = "perf/bytes_op"
+		case "allocs/op":
+			name = "perf/allocs_op"
+		default:
+			continue // MB/s and custom units are not tracked
+		}
+		s.Add(name, uint64(math.Round(v)))
+	}
+	return nil
+}

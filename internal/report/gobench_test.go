@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+const goBenchSample = `goos: linux
+goarch: amd64
+pkg: repro/internal/interp
+cpu: AMD EPYC 7B13
+BenchmarkExecALU/legacy-8         	    8848	    133503 ns/op	     176 B/op	       1 allocs/op
+BenchmarkExecALU/linked-8         	   14601	     82868 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTLBHit-8                 	201163182	         5.974 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/interp	4.612s
+`
+
+func TestParseGoBench(t *testing.T) {
+	grids, err := ParseGoBench([]byte(goBenchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 1 || grids[0].Name != GoBenchGridName {
+		t.Fatalf("grids = %+v, want one grid named %q", grids, GoBenchGridName)
+	}
+	cells := grids[0].Obs.Cells
+	if len(cells) != 3 {
+		t.Fatalf("parsed %d cells, want 3", len(cells))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped from every cell name.
+	for _, c := range cells {
+		if strings.HasSuffix(c.Cell, "-8") {
+			t.Errorf("cell %q retains the GOMAXPROCS suffix", c.Cell)
+		}
+	}
+	byName := make(map[string]BenchCell)
+	for _, c := range cells {
+		byName[c.Cell] = c
+	}
+	linked, ok := byName["BenchmarkExecALU/linked"]
+	if !ok {
+		t.Fatalf("missing linked cell; have %v", cells)
+	}
+	if got := linked.Metrics.Get("perf/ns_op"); got != 82868 {
+		t.Errorf("linked ns_op = %d, want 82868", got)
+	}
+	if got := linked.Metrics.Get("perf/allocs_op"); got != 0 {
+		t.Errorf("linked allocs_op = %d, want 0", got)
+	}
+	// Fractional ns/op rounds to the nearest integer nanosecond.
+	if got := byName["BenchmarkTLBHit"].Metrics.Get("perf/ns_op"); got != 6 {
+		t.Errorf("TLB ns_op = %d, want 6 (rounded from 5.974)", got)
+	}
+	// Totals merge every cell.
+	if got := grids[0].Obs.Totals.Get("perf/bytes_op"); got != 176 {
+		t.Errorf("total bytes_op = %d, want 176", got)
+	}
+}
+
+func TestParseGoBenchRejectsEmpty(t *testing.T) {
+	if _, err := ParseGoBench([]byte("PASS\nok  \trepro/internal/interp\t0.1s\n")); err == nil {
+		t.Fatal("want error for output with no benchmark lines")
+	}
+}
+
+// TestGateWallClock: perf/* metrics are informational by default and gate
+// only when GateWallClock is set — a +50% ns/op drift must flip the
+// verdict exactly then.
+func TestGateWallClock(t *testing.T) {
+	base := benchDoc("perf/ns_op", map[string]uint64{"a": 1000, "b": 1000, "c": 1000, "d": 1000})
+	cur := benchDoc("perf/ns_op", map[string]uint64{"a": 1500, "b": 1500, "c": 1500, "d": 1500})
+
+	off := Compare(cur, base, RegressOpts{})
+	if off.Verdict != Pass || off.Metrics[0].Verdict != "info" {
+		t.Fatalf("ungated wall-clock drift = %s/%s, want pass/info", off.Verdict, off.Metrics[0].Verdict)
+	}
+
+	on := Compare(cur, base, RegressOpts{GateWallClock: true})
+	if on.Verdict != Regressed || on.ExitCode() != 3 {
+		t.Fatalf("gated wall-clock drift = %s (exit %d), want regressed 3", on.Verdict, on.ExitCode())
+	}
+
+	// Simulated cycle accounts gate regardless of the wall-clock switch.
+	cb := benchDoc("sim/cycles/total", map[string]uint64{"a": 1000})
+	cc := benchDoc("sim/cycles/total", map[string]uint64{"a": 1500})
+	if r := Compare(cc, cb, RegressOpts{}); r.Verdict != Regressed {
+		t.Fatalf("cycle drift without wall-clock gating = %s, want regressed", r.Verdict)
+	}
+}

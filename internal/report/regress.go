@@ -67,6 +67,11 @@ type RegressOpts struct {
 	// Z is the confidence z-score for the per-cell delta interval; 0
 	// selects 1.96 (~95%).
 	Z float64
+	// GateWallClock additionally gates the wall-clock metrics of go-bench
+	// grids (perf/ns_op and friends, see ParseGoBench). Off by default:
+	// wall time is machine-dependent, so it only gates where the runner
+	// hardware is controlled.
+	GateWallClock bool
 }
 
 func (o RegressOpts) withDefaults() RegressOpts {
@@ -119,9 +124,13 @@ type Regression struct {
 
 // gatedMetric reports whether drift in the metric should gate CI: the
 // cycle accounts are the paper's overhead currency, and more cycles is
-// strictly worse.
-func gatedMetric(name string) bool {
-	return strings.HasPrefix(name, "sim/cycles/")
+// strictly worse. Wall-clock metrics (perf/*, where more is also worse)
+// gate only when the comparison opts in.
+func gatedMetric(name string, opt RegressOpts) bool {
+	if strings.HasPrefix(name, "sim/cycles/") {
+		return true
+	}
+	return opt.GateWallClock && strings.HasPrefix(name, "perf/")
 }
 
 // Compare runs the regression analysis of current against baseline.
@@ -176,7 +185,7 @@ func compareGrids(cur, base BenchGrid, opt RegressOpts) []MetricDelta {
 			Name:       name,
 			Base:       base.Obs.Totals.Get(name),
 			Cur:        cur.Obs.Totals.Get(name),
-			Gated:      gatedMetric(name),
+			Gated:      gatedMetric(name, opt),
 		}
 		if d.Base > 0 {
 			d.DeltaPct = Ratio(100 * (float64(d.Cur) - float64(d.Base)) / float64(d.Base))

@@ -1,0 +1,34 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+// BenchmarkRunnerCell measures one end-to-end Spec experiment cell —
+// program-cache lookup, machine construction and full simulation — the
+// unit every experiment grid decomposes into.
+func BenchmarkRunnerCell(b *testing.B) {
+	cell := Cell{
+		Exp:      "bench",
+		Kind:     Spec,
+		Workload: "lbm",
+		Scheme:   params.TT,
+		EWMicros: params.DefaultEWMicros,
+		Seed:     1,
+		Scale:    1,
+		Threads:  1,
+	}
+	cache := NewProgCache()
+	if _, err := RunCell(cell, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCell(cell, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

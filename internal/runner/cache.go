@@ -37,6 +37,13 @@ type progEntry struct {
 	once sync.Once
 	prog *ir.Program
 	err  error
+
+	// linkOnce lazily derives the pre-resolved execution form (ir.Link)
+	// from prog. Linking is memoized separately from compilation so
+	// callers that only need the ir.Program never pay for it.
+	linkOnce sync.Once
+	linked   *ir.Linked
+	linkErr  error
 }
 
 // DefaultCache is the shared process-wide cache used when Options.Cache
@@ -70,6 +77,35 @@ func (c *ProgCache) Program(k speckit.Kernel, scale int, insert bool, opt terpc.
 	}
 	e.once.Do(func() { e.prog, e.err = speckit.Build(k, scale, insert, opt) })
 	return e.prog, e.err
+}
+
+// Linked returns the pre-linked execution form of the kernel's program,
+// compiling and linking at most once per key. The linked form is
+// read-only to the interpreter, so one entry may back any number of
+// concurrent cells.
+func (c *ProgCache) Linked(k speckit.Kernel, scale int, insert bool, opt terpc.Options) (*ir.Linked, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	key := progKey{kernel: k.Name, scale: scale, insert: insert, opt: opt}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &progEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.prog, e.err = speckit.Build(k, scale, insert, opt) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.linkOnce.Do(func() { e.linked, e.linkErr = ir.Link(e.prog) })
+	return e.linked, e.linkErr
 }
 
 // Stats reports cache hits and misses (a "hit" may still briefly block

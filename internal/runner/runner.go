@@ -26,6 +26,12 @@ import (
 	"repro/internal/whisper"
 )
 
+// UseLegacyEngine routes Spec cells through the unoptimized tree-walking
+// interpreter instead of the pre-linked execution form. Results are
+// identical either way; the switch exists so the equivalence tests can
+// run both engines side by side.
+var UseLegacyEngine = false
+
 // Kind selects the driver a cell runs under.
 type Kind int
 
@@ -258,15 +264,27 @@ func RunCellObs(c Cell, cache *ProgCache, ocfg obs.Config) (CellResult, error) {
 			return out, err
 		}
 		opt, insert := speckit.InsertOptions(cfg)
-		prog, err := cache.Program(k, c.Scale, insert, opt)
-		if err != nil {
-			return out, err
-		}
-		res, err := speckit.RunProgram(cfg, k, prog, speckit.RunOpts{
+		ropts := speckit.RunOpts{
 			Threads:   c.Threads,
 			Scale:     c.Scale,
 			OnRuntime: onRuntime,
-		})
+		}
+		var res core.Result
+		if UseLegacyEngine {
+			prog, err := cache.Program(k, c.Scale, insert, opt)
+			if err != nil {
+				return out, err
+			}
+			res, err = speckit.RunProgram(cfg, k, prog, ropts)
+			out.Result = res
+			snapshot()
+			return out, err
+		}
+		linked, err := cache.Linked(k, c.Scale, insert, opt)
+		if err != nil {
+			return out, err
+		}
+		res, err = speckit.RunLinked(cfg, k, linked, ropts)
 		out.Result = res
 		snapshot()
 		return out, err

@@ -94,13 +94,18 @@ func NewState() *State {
 func (s *State) HolderCount() int { return len(s.Holders) }
 
 // OtherHolders reports whether any thread besides t holds permission.
+// Holders only ever stores true values (membership is deletion-based),
+// so the answer follows from the size and t's own membership — no map
+// iteration on this per-detach path.
 func (s *State) OtherHolders(t int) bool {
-	for h := range s.Holders {
-		if h != t {
-			return true
-		}
+	n := len(s.Holders)
+	if n == 0 {
+		return false
 	}
-	return false
+	if s.Holders[t] {
+		return n > 1
+	}
+	return true
 }
 
 // Policy is one attach/detach semantics (Section IV). Attach and Detach

@@ -99,6 +99,25 @@ func Run(cfg params.Config, k Kernel, opts RunOpts) (core.Result, error) {
 // instrumented) kernel program on a fresh simulated machine. The program
 // is not mutated, so callers may share one program across concurrent runs.
 func RunProgram(cfg params.Config, k Kernel, prog *ir.Program, opts RunOpts) (core.Result, error) {
+	return runWith(cfg, k, prog.PMONames(), opts, func(ctx *core.ThreadCtx) (*interp.Machine, error) {
+		return interp.New(prog, ctx)
+	})
+}
+
+// RunLinked executes a pre-linked program form (see ir.Link) on a fresh
+// simulated machine. The linked form is read-only to the interpreter, so
+// one Link result may back any number of concurrent runs; results are
+// identical to RunProgram on the program the form was linked from.
+func RunLinked(cfg params.Config, k Kernel, l *ir.Linked, opts RunOpts) (core.Result, error) {
+	return runWith(cfg, k, l.Prog.PMONames(), opts, func(ctx *core.ThreadCtx) (*interp.Machine, error) {
+		return interp.NewLinked(l, ctx)
+	})
+}
+
+// runWith builds the simulated machine (single-thread or scheduled) and
+// executes the kernel with interpreters supplied by newMachine — the one
+// place the single- and multi-thread drive logic lives.
+func runWith(cfg params.Config, k Kernel, pmoNames []string, opts RunOpts, newMachine func(*core.ThreadCtx) (*interp.Machine, error)) (core.Result, error) {
 	opts = opts.withDefaults()
 	mgr := pmo.NewManager(nvm.NewDevice(nvm.NVM, opts.DeviceSize))
 	rt := core.NewRuntime(cfg, mgr)
@@ -108,12 +127,12 @@ func RunProgram(cfg params.Config, k Kernel, prog *ir.Program, opts RunOpts) (co
 
 	if opts.Threads == 1 {
 		ctx := rt.NewThread(sim.SingleThread())
-		m, err := interp.New(prog, ctx)
+		m, err := newMachine(ctx)
 		if err != nil {
 			return core.Result{}, err
 		}
 		if cfg.Scheme == params.Unprotected {
-			if err := preAttach(ctx, m, prog.PMONames()); err != nil {
+			if err := preAttach(ctx, m, pmoNames); err != nil {
 				return core.Result{}, err
 			}
 		}
@@ -131,7 +150,7 @@ func RunProgram(cfg params.Config, k Kernel, prog *ir.Program, opts RunOpts) (co
 		t := t
 		machine.AddThread(func(th *sim.Thread) {
 			ctx := rt.NewThread(th)
-			m, err := interp.New(prog, ctx)
+			m, err := newMachine(ctx)
 			if err != nil {
 				errs[t] = err
 				return
@@ -143,7 +162,7 @@ func RunProgram(cfg params.Config, k Kernel, prog *ir.Program, opts RunOpts) (co
 				m.ShareDRAM(first)
 			}
 			if cfg.Scheme == params.Unprotected && t == 0 {
-				if err := preAttach(ctx, m, prog.PMONames()); err != nil {
+				if err := preAttach(ctx, m, pmoNames); err != nil {
 					errs[t] = err
 					return
 				}

@@ -104,6 +104,18 @@ type Buffer struct {
 	Obs *obs.Track
 
 	lastSweep uint64
+
+	// deadline/dlFound cache NextDeadline's answer; dlDirty forces a
+	// rescan after any mutation that can move an entry's TS or validity.
+	// NextDeadline runs on every computation charge, mutations only on
+	// conditional attach/detach traffic, so the cache almost always hits.
+	// maxTS rides along: the latest attach timestamp among live entries,
+	// which Sweep needs to spot entries stamped ahead of the sweeping
+	// thread's clock (multi-thread clock skew).
+	deadline uint64
+	maxTS    uint64
+	dlFound  bool
+	dlDirty  bool
 }
 
 // NewBuffer creates the buffer with the given maximum exposure window in
@@ -112,6 +124,7 @@ func NewBuffer(maxEW uint64) *Buffer {
 	return &Buffer{
 		entries: make([]Entry, params.CircularBufferEntries),
 		maxEW:   maxEW,
+		dlDirty: true,
 	}
 }
 
@@ -152,6 +165,7 @@ func (b *Buffer) Live() int {
 // must perform the full attach system call; for the other cases it only
 // sets the thread permission.
 func (b *Buffer) CondAttach(pmo uint32, now uint64) Case {
+	b.dlDirty = true
 	if e := b.find(pmo); e != nil {
 		if e.DD {
 			// Case 3: elide the delayed detach and this attach.
@@ -195,6 +209,7 @@ func (b *Buffer) freeSlot(now uint64) int {
 // permission. Detaching a PMO that is not in the buffer is an overflow
 // fallback (unconditional system call).
 func (b *Buffer) CondDetach(pmo uint32, now uint64) Case {
+	b.dlDirty = true
 	e := b.find(pmo)
 	if e == nil {
 		b.Obs.Instant(now, obs.CatHW, "conddt-overflow", int64(pmo))
@@ -222,6 +237,7 @@ func (b *Buffer) CondDetach(pmo uint32, now uint64) Case {
 // Drop removes the PMO's entry without any action (used when the runtime
 // detaches through a non-conditional path).
 func (b *Buffer) Drop(pmo uint32) {
+	b.dlDirty = true
 	if e := b.find(pmo); e != nil {
 		e.valid = false
 	}
@@ -237,6 +253,17 @@ func (b *Buffer) Sweep(now uint64) []SweepAction {
 		return nil
 	}
 	b.lastSweep = now - now%params.SweepPeriod
+	if dl, ok := b.NextDeadline(); !ok || (dl > now && b.maxTS <= now) {
+		// Nothing can be expired: every live window opened at or before
+		// now and the earliest deadline is still ahead. (An entry with
+		// TS beyond the sweeping clock — possible under multi-thread
+		// clock skew — counts as expired via unsigned wraparound in the
+		// scan below, so it forces the scan.) The scan would find
+		// nothing and mutate nothing; advancing lastSweep first keeps
+		// the period gating identical to the scanning path.
+		return nil
+	}
+	b.dlDirty = true
 	var acts []SweepAction
 	for i := range b.entries {
 		e := &b.entries[i]
@@ -264,6 +291,7 @@ func (b *Buffer) Sweep(now uint64) []SweepAction {
 // ForceExpire marks the PMO's window as expired (test hook: sets TS so the
 // next sweep or conditional detach sees the EW as met).
 func (b *Buffer) ForceExpire(pmo uint32, now uint64) {
+	b.dlDirty = true
 	if e := b.find(pmo); e != nil {
 		if now >= b.maxEW {
 			e.TS = now - b.maxEW
@@ -277,18 +305,24 @@ func (b *Buffer) ForceExpire(pmo uint32, now uint64) {
 // exposure window expires (TS + maxEW), so the runtime can model the
 // continuously running hardware timer across long computation phases.
 func (b *Buffer) NextDeadline() (uint64, bool) {
-	var best uint64
-	found := false
-	for i := range b.entries {
-		e := &b.entries[i]
-		if !e.valid {
-			continue
+	if b.dlDirty {
+		var best, maxTS uint64
+		found := false
+		for i := range b.entries {
+			e := &b.entries[i]
+			if !e.valid {
+				continue
+			}
+			dl := e.TS + b.maxEW
+			if !found || dl < best {
+				best = dl
+				found = true
+			}
+			if e.TS > maxTS {
+				maxTS = e.TS
+			}
 		}
-		dl := e.TS + b.maxEW
-		if !found || dl < best {
-			best = dl
-			found = true
-		}
+		b.deadline, b.maxTS, b.dlFound, b.dlDirty = best, maxTS, found, false
 	}
-	return best, found
+	return b.deadline, b.dlFound
 }
