@@ -9,6 +9,13 @@
 //	terpbench -exp table3 -trace out.json   # Perfetto/Chrome trace export
 //	terpbench -exp table3 -metrics          # per-cell counter tables
 //	terpbench -exp table3 -report run.html  # self-contained HTML run report
+//	terpbench -spec job.json                # run a versioned spec document
+//
+// -spec reads the same versioned ExperimentSpec wire document that the
+// terpd job API accepts (see terp.ParseSpec), so a spec file submitted
+// to a server and run locally produce byte-identical grids; it replaces
+// -exp/-ops/-scale/-seed, while output flags (-json, -trace, -metrics,
+// -report) and an explicit -parallel still apply.
 //
 // Each experiment decomposes into independent simulation cells that run
 // on a worker pool; output is bit-identical at every -parallel value.
@@ -53,7 +60,10 @@ func main() {
 	reportPath := flag.String("report", "", "write a self-contained HTML run report to this file (implies tracing and metrics)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	specPath := flag.String("spec", "", "run the versioned spec JSON document in this file (replaces -exp/-ops/-scale/-seed)")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -74,7 +84,7 @@ func main() {
 		}()
 	}
 
-	if *exp != "all" {
+	if *specPath == "" && *exp != "all" {
 		ok := false
 		for _, name := range terp.Experiments() {
 			if name == *exp {
@@ -96,18 +106,38 @@ func main() {
 		ocfg.Metrics = true
 	}
 
+	// Enumerate the specs to run: either the one wire document from
+	// -spec, or the classic flag-built spec per selected experiment.
+	var specs []terp.ExperimentSpec
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		check(err)
+		spec, err := terp.ParseSpec(raw)
+		check(err)
+		if explicit["parallel"] {
+			spec.Parallel = *parallel
+		}
+		// Output flags add collection on top of what the spec asks for.
+		spec.Obs.Trace = spec.Obs.Trace || ocfg.Trace
+		spec.Obs.Metrics = spec.Obs.Metrics || ocfg.Metrics
+		specs = append(specs, spec)
+	} else {
+		for _, name := range terp.Experiments() {
+			if *exp != "all" && *exp != name {
+				continue
+			}
+			specs = append(specs, terp.ExperimentSpec{
+				Name:     name,
+				Opts:     terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed},
+				Parallel: *parallel,
+				Obs:      ocfg,
+			})
+		}
+	}
+
 	var grids []*terp.Grid
 	var traces []obs.CellTrace
-	for _, name := range terp.Experiments() {
-		if *exp != "all" && *exp != name {
-			continue
-		}
-		spec := terp.ExperimentSpec{
-			Name:     name,
-			Opts:     terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed},
-			Parallel: *parallel,
-			Obs:      ocfg,
-		}
+	for _, spec := range specs {
 		if *progress {
 			// Rate and ETA derive from wall clock, but only ever reach
 			// stderr — no persisted output contains wall time.

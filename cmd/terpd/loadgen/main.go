@@ -1,0 +1,318 @@
+// Command loadgen hammers a running terpd with concurrent tenants
+// submitting mixed experiment specs, then reports throughput and
+// verifies served results against an offline run:
+//
+//	loadgen -addr http://localhost:8321 -tenants 8 -jobs 4 -ops 500
+//	loadgen -tenants 16 -jobs 2 -exp table3,fig8,table5 -verify
+//
+// Every tenant runs its jobs FIFO: submit (retrying with backoff on
+// 429 admission rejections), then poll to completion. The summary
+// reports jobs by outcome, total simulated cells, wall-clock cells/sec
+// (the number that must scale with terpd -workers), and the 429/5xx
+// counts. With -verify, one finished grid is fetched and byte-compared
+// against `terp.Run` executed in-process with the same spec — the
+// determinism contract over the wire.
+//
+// Exit status: 0 when every job completed and verification passed;
+// 1 on any failed job, any 5xx, or a verification mismatch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	terp "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8321", "terpd base URL")
+	tenants := flag.Int("tenants", 8, "concurrent tenants")
+	jobs := flag.Int("jobs", 4, "jobs per tenant")
+	exps := flag.String("exp", "table3,fig8,table5", "comma-separated experiments to mix across jobs")
+	ops := flag.Int("ops", 500, "WHISPER operations per run")
+	scale := flag.Int("scale", 1, "SPEC kernel scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	verify := flag.Bool("verify", false, "byte-compare one served grid against an offline in-process run")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	flag.Parse()
+
+	names := strings.Split(*exps, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	lg := &loadgen{
+		client: client, base: strings.TrimRight(*addr, "/"),
+		poll: *poll, deadline: time.Now().Add(*timeout),
+	}
+
+	if err := lg.waitHealthy(10 * time.Second); err != nil {
+		fatal(err)
+	}
+
+	// Build the mixed spec list: job k of tenant t runs specs[(t*jobs+k) % len].
+	specs := make([]terp.ExperimentSpec, len(names))
+	for i, name := range names {
+		specs[i] = terp.ExperimentSpec{
+			Version: terp.WireVersion,
+			Name:    name,
+			Opts:    terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed},
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	outcomes := make([][]outcome, *tenants)
+	for t := 0; t < *tenants; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%02d", t)
+			for k := 0; k < *jobs; k++ {
+				spec := specs[(t**jobs+k)%len(specs)]
+				outcomes[t] = append(outcomes[t], lg.runJob(tenant, spec))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Summarize.
+	var done, failed, cells int
+	var firstDone *outcome
+	for t := range outcomes {
+		for i := range outcomes[t] {
+			o := &outcomes[t][i]
+			if o.err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "loadgen: %s %s: %v\n", o.tenant, o.spec.Name, o.err)
+				continue
+			}
+			done++
+			cells += o.status.Total
+			if firstDone == nil {
+				firstDone = o
+			}
+		}
+	}
+	rate := float64(cells) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d tenants x %d jobs: %d done, %d failed in %.2fs\n",
+		*tenants, *jobs, done, failed, elapsed.Seconds())
+	fmt.Printf("loadgen: %d cells, %.1f cells/sec, %d admission retries (429), %d server errors (5xx)\n",
+		cells, rate, lg.retries.Load(), lg.serverErrs.Load())
+
+	ok := failed == 0 && lg.serverErrs.Load() == 0
+	if *verify {
+		if firstDone == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -verify: no completed job to verify")
+			ok = false
+		} else if err := lg.verifyGrid(firstDone); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -verify:", err)
+			ok = false
+		} else {
+			fmt.Printf("loadgen: verify: served grid %s byte-identical to offline run (%s)\n",
+				firstDone.status.ID, firstDone.spec.Name)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: ok")
+}
+
+// outcome is one job's journey.
+type outcome struct {
+	tenant string
+	spec   terp.ExperimentSpec
+	status service.Status
+	err    error
+}
+
+type loadgen struct {
+	client     *http.Client
+	base       string
+	poll       time.Duration
+	deadline   time.Time
+	retries    counter
+	serverErrs counter
+}
+
+// counter is a small atomic counter (avoiding sync/atomic noise at call
+// sites).
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) Load() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// waitHealthy blocks until /healthz answers or the wait budget runs out.
+func (l *loadgen) waitHealthy(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := l.client.Get(l.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: terpd at %s not healthy after %v: %v", l.base, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runJob submits one spec (retrying 429s with linear backoff) and polls
+// it to a terminal state.
+func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
+	o := outcome{tenant: tenant, spec: spec}
+	body, err := spec.JSON()
+	if err != nil {
+		o.err = err
+		return o
+	}
+
+	var st service.Status
+	for attempt := 0; ; attempt++ {
+		if time.Now().After(l.deadline) {
+			o.err = fmt.Errorf("deadline exceeded while submitting")
+			return o
+		}
+		req, err := http.NewRequest(http.MethodPost, l.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			o.err = err
+			return o
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.TenantHeader, tenant)
+		resp, err := l.client.Do(req)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			l.retries.Add(1)
+			time.Sleep(time.Duration(min(attempt+1, 20)) * 50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			l.serverErrs.Add(1)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			o.err = fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, raw)
+			return o
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			o.err = fmt.Errorf("submit: parsing status: %w", err)
+			return o
+		}
+		break
+	}
+
+	for {
+		if time.Now().After(l.deadline) {
+			o.err = fmt.Errorf("deadline exceeded waiting for job %s", st.ID)
+			return o
+		}
+		cur, code, err := l.getStatus(st.ID)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if code >= 500 {
+			l.serverErrs.Add(1)
+		}
+		if code != http.StatusOK {
+			o.err = fmt.Errorf("status %s: HTTP %d", st.ID, code)
+			return o
+		}
+		if cur.State.Terminal() {
+			o.status = cur
+			if cur.State != service.StateDone {
+				o.err = fmt.Errorf("job %s ended %s: %s", cur.ID, cur.State, cur.Error)
+			}
+			return o
+		}
+		time.Sleep(l.poll)
+	}
+}
+
+func (l *loadgen) getStatus(id string) (service.Status, int, error) {
+	resp, err := l.client.Get(l.base + "/v1/jobs/" + id)
+	if err != nil {
+		return service.Status{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.Status{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.Status{}, resp.StatusCode, nil
+	}
+	var st service.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return service.Status{}, resp.StatusCode, err
+	}
+	return st, resp.StatusCode, nil
+}
+
+// verifyGrid fetches the served grid and byte-compares it against an
+// in-process offline run of the identical spec.
+func (l *loadgen) verifyGrid(o *outcome) error {
+	resp, err := l.client.Get(l.base + "/v1/jobs/" + o.status.ID + "/grid")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	served, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("grid fetch: HTTP %d: %s", resp.StatusCode, served)
+	}
+	g, err := terp.Run(o.spec)
+	if err != nil {
+		return fmt.Errorf("offline run: %w", err)
+	}
+	offline, err := g.JSON()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(served, offline) {
+		return fmt.Errorf("grid %s differs from offline run (%d vs %d bytes)",
+			o.status.ID, len(served), len(offline))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command terpd is the TERP simulation service: a long-lived HTTP/JSON
+// server that accepts experiment-spec jobs from many concurrent
+// tenants, executes their cells on one shared worker pool with
+// round-robin fairness across tenants, and serves results from an
+// LRU-bounded store.
+//
+//	terpd                          # serve on :8321 with GOMAXPROCS workers
+//	terpd -addr :9000 -workers 8   # explicit bind + pool size
+//	terpd -queue-depth 4           # admit at most 4 jobs per tenant (429 beyond)
+//	terpd -results 64              # retain the 64 most recent finished jobs
+//
+// API (specs and grids use the versioned wire format of `terpbench
+// -spec`/-json — see terp.WireVersion):
+//
+//	POST   /v1/jobs            submit a spec (header X-Terp-Tenant names
+//	                           the tenant; 202 + job status, 429 when the
+//	                           tenant queue is full, 400 on a bad or
+//	                           wrong-version spec)
+//	GET    /v1/jobs/{id}       job status (state, done/total cells)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/grid  finished grid JSON — byte-identical to the
+//	                           offline `terp.Run` result for the same spec
+//	GET    /v1/jobs/{id}/report  self-contained HTML run report
+//	GET    /v1/jobs/{id}/trace   Perfetto-loadable Chrome trace JSON
+//	GET    /v1/jobs/{id}/events  live progress as server-sent events
+//	GET    /v1/experiments     experiment names + wire version
+//	GET    /v1/stats           scheduler counters and queue occupancy
+//	GET    /healthz            liveness
+//
+// The bundled load generator lives at ./loadgen.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation worker-pool size")
+	queueDepth := flag.Int("queue-depth", service.DefaultQueueDepth, "max queued+running jobs per tenant before 429")
+	storeCap := flag.Int("results", service.DefaultStoreCap, "finished jobs retained in the LRU result store")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		StoreCap:   *storeCap,
+	})
+	hs := &http.Server{Addr: *addr, Handler: accessLog(srv.Handler())}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "terpd: serving on %s (%d workers, queue depth %d, %d results retained)\n",
+		*addr, *workers, *queueDepth, *storeCap)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "terpd:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "terpd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		cancel()
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "terpd: stopped")
+}
+
+// logWriter records the status and byte count of a response. It keeps a
+// Flush method so the SSE events endpoint still sees an http.Flusher
+// through the wrapper.
+type logWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *logWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *logWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLog writes one line per request to stderr:
+//
+//	terpd: alice "POST /v1/jobs" 202 217B 1ms
+func accessLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lw := &logWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(lw, r)
+		if lw.status == 0 {
+			lw.status = http.StatusOK
+		}
+		tenant := r.Header.Get(service.TenantHeader)
+		if tenant == "" {
+			tenant = service.DefaultTenant
+		}
+		fmt.Fprintf(os.Stderr, "terpd: %s %q %d %dB %s\n",
+			tenant, r.Method+" "+r.URL.Path, lw.status, lw.bytes,
+			time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -160,8 +160,10 @@ func loadGrids(inPath, exp string, opts terp.ExpOpts, parallel int) ([]*terp.Gri
 		if err != nil {
 			return nil, err
 		}
-		var grids []*terp.Grid
-		if err := json.Unmarshal(buf, &grids); err != nil {
+		// ParseGrids enforces the wire version, so a document from an
+		// incompatible build fails loudly instead of mis-reporting.
+		grids, err := terp.ParseGrids(buf)
+		if err != nil {
 			return nil, fmt.Errorf("parsing %s: %w", inPath, err)
 		}
 		return grids, nil

@@ -137,15 +137,17 @@ func (e Event) String() string {
 		e.TS, th, e.Cat, e.Type, e.Name, e.Arg)
 }
 
-// Config selects what a run records.
+// Config selects what a run records. The JSON tags are part of the
+// experiment-spec wire format (it embeds a Config), so renaming them is
+// a wire-version bump.
 type Config struct {
 	// Trace enables the event recorder.
-	Trace bool
+	Trace bool `json:"trace,omitempty"`
 	// Metrics enables counter/histogram collection.
-	Metrics bool
+	Metrics bool `json:"metrics,omitempty"`
 	// TraceCap bounds the retained events per thread track (a ring of
 	// the most recent events); 0 selects DefaultTraceCap.
-	TraceCap int
+	TraceCap int `json:"traceCap,omitempty"`
 }
 
 // Enabled reports whether any collection is on.

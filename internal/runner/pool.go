@@ -1,0 +1,250 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrPoolClosed is returned by Pool.Run when the pool has been (or is
+// being) shut down.
+var ErrPoolClosed = errors.New("runner: pool closed")
+
+// Pool is a persistent worker set that executes cell jobs for many
+// concurrent callers. It generalizes Execute from one-shot batch to
+// streaming: callers submit whole cell lists with Run, and the shared
+// workers claim cells round-robin across every active job, so N
+// concurrent jobs progress at cell granularity instead of head-of-line
+// blocking each other. Results keep the enumeration-order determinism
+// contract of Execute — a grid computed on a shared pool is
+// byte-identical to a serial run, because cells share no mutable state
+// and results land at their enumeration index whatever order workers
+// finish in.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*poolJob // jobs with unclaimed cells or in-flight work
+	rr     int        // round-robin cursor into jobs
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// poolJob is one Run call's state, guarded by the pool mutex except
+// where noted.
+type poolJob struct {
+	ctx      context.Context
+	cells    []Cell
+	cache    *ProgCache
+	ocfg     obs.Config
+	progress Progress
+
+	results  []CellResult
+	next     int // next unclaimed cell index
+	inflight int // cells claimed but not yet recorded
+	canceled bool
+	err      error // terminal error for canceled jobs
+
+	finished chan struct{}
+	closed   bool // finished already closed
+
+	pmu  sync.Mutex // serializes progress callbacks
+	done int        // completed-cell count for progress
+}
+
+// NewPool starts a pool of the given size; workers <= 0 selects
+// GOMAXPROCS. Callers own the pool and must Close it when done.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every cell on the shared workers and blocks until the
+// job completes or ctx is canceled. Results are in enumeration order;
+// the returned error joins every cell error (as Execute does). On
+// cancellation Run stops claiming the job's remaining cells, waits for
+// its in-flight cells to drain — so no pool goroutine touches the
+// job's state after Run returns — and returns ctx.Err().
+//
+// Options.Workers is ignored: the pool's size governs. Options.Cache,
+// Options.Obs and Options.Progress apply per job as in Execute.
+func (p *Pool) Run(ctx context.Context, cells []Cell, opt Options) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results, ctx.Err()
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+	j := &poolJob{
+		ctx:      ctx,
+		cells:    cells,
+		cache:    cache,
+		ocfg:     opt.Obs,
+		progress: opt.Progress,
+		results:  results,
+		finished: make(chan struct{}),
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	p.jobs = append(p.jobs, j)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	select {
+	case <-j.finished:
+	case <-ctx.Done():
+		p.mu.Lock()
+		p.cancelLocked(j, ctx.Err())
+		p.mu.Unlock()
+		<-j.finished // in-flight cells drain before Run returns
+	}
+
+	if j.canceled {
+		return nil, j.err
+	}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("runner %s: %w", r.Cell.Name(), r.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// cancelLocked marks a job terminal: no further cells are claimed, and
+// finished closes as soon as nothing is in flight. Callers hold p.mu.
+func (p *Pool) cancelLocked(j *poolJob, err error) {
+	if j.canceled || j.closed {
+		return
+	}
+	j.canceled = true
+	j.err = err
+	j.next = len(j.cells) // nothing more to claim
+	if j.inflight == 0 {
+		p.finishLocked(j)
+	}
+}
+
+// finishLocked retires a job: removes it from the active list and
+// closes its finished channel exactly once. Callers hold p.mu.
+func (p *Pool) finishLocked(j *poolJob) {
+	if j.closed {
+		return
+	}
+	j.closed = true
+	for i, other := range p.jobs {
+		if other == j {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			break
+		}
+	}
+	if p.rr >= len(p.jobs) {
+		p.rr = 0
+	}
+	close(j.finished)
+}
+
+// claimLocked picks the next (job, cell) pair round-robin across active
+// jobs. Callers hold p.mu.
+func (p *Pool) claimLocked() (*poolJob, int, bool) {
+	n := len(p.jobs)
+	for k := 0; k < n; k++ {
+		at := (p.rr + k) % n
+		j := p.jobs[at]
+		if j.next < len(j.cells) {
+			i := j.next
+			j.next++
+			j.inflight++
+			p.rr = (at + 1) % n
+			return j, i, true
+		}
+	}
+	return nil, 0, false
+}
+
+// worker claims and runs cells until the pool closes.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		var (
+			j  *poolJob
+			i  int
+			ok bool
+		)
+		for {
+			if j, i, ok = p.claimLocked(); ok {
+				break
+			}
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+
+		res, err := RunCellCtx(j.ctx, j.cells[i], j.cache, j.ocfg)
+		res.Err = err
+
+		// Progress fires before the in-flight count drops: the job can
+		// only reach its terminal state (and release Run) once every
+		// callback has returned, matching Execute's serialization. A
+		// canceled job stops reporting — cells aborted by its context
+		// are not completions.
+		if j.progress != nil && j.ctx.Err() == nil {
+			j.pmu.Lock()
+			j.done++
+			j.progress(j.done, len(j.cells), j.cells[i])
+			j.pmu.Unlock()
+		}
+
+		p.mu.Lock()
+		j.results[i] = res
+		j.inflight--
+		if j.next >= len(j.cells) && j.inflight == 0 {
+			p.finishLocked(j)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close shuts the pool down: jobs still queued are canceled with
+// ErrPoolClosed, in-flight cells run to completion, and Close returns
+// once every worker has exited. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, j := range append([]*poolJob(nil), p.jobs...) {
+		p.cancelLocked(j, ErrPoolClosed)
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -13,10 +13,9 @@
 package runner
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/crash"
@@ -153,6 +152,21 @@ type Options struct {
 // with errors.Join; the per-cell errors also remain in the result slice
 // so callers can attribute failures.
 func Execute(cells []Cell, opt Options) ([]CellResult, error) {
+	return ExecuteContext(context.Background(), cells, opt)
+}
+
+// ExecuteContext is Execute with cancellation: it spins up an ephemeral
+// Pool of Options.Workers workers for the batch and tears it down when
+// the batch completes. Cancelling ctx stops the batch between cells
+// (and interrupts long-running whisper cells at operation granularity);
+// ExecuteContext then returns ctx.Err() once in-flight cells drain.
+// Long-lived callers with many concurrent batches should own a shared
+// Pool instead.
+func ExecuteContext(ctx context.Context, cells []Cell, opt Options) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	if len(cells) == 0 {
+		return results, ctx.Err()
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -160,52 +174,9 @@ func Execute(cells []Cell, opt Options) ([]CellResult, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	cache := opt.Cache
-	if cache == nil {
-		cache = DefaultCache
-	}
-
-	results := make([]CellResult, len(cells))
-	if len(cells) == 0 {
-		return results, nil
-	}
-
-	var (
-		mu   sync.Mutex
-		done int
-		wg   sync.WaitGroup
-	)
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res, err := RunCellObs(cells[i], cache, opt.Obs)
-				res.Err = err
-				results[i] = res
-				if opt.Progress != nil {
-					mu.Lock()
-					done++
-					opt.Progress(done, len(cells), cells[i])
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range cells {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-
-	var errs []error
-	for _, r := range results {
-		if r.Err != nil {
-			errs = append(errs, fmt.Errorf("runner %s: %w", r.Cell.Name(), r.Err))
-		}
-	}
-	return results, errors.Join(errs...)
+	p := NewPool(workers)
+	defer p.Close()
+	return p.Run(ctx, cells, opt)
 }
 
 // RunCell executes one cell on the calling goroutine, returning the
@@ -220,10 +191,23 @@ func RunCell(c Cell, cache *ProgCache) (CellResult, error) {
 // CellObs payload. The instrumented run charges the same simulated cycles
 // as a plain one — collection only observes, never charges.
 func RunCellObs(c Cell, cache *ProgCache, ocfg obs.Config) (CellResult, error) {
+	return RunCellCtx(context.Background(), c, cache, ocfg)
+}
+
+// RunCellCtx is RunCellObs with cancellation: the cell is skipped when
+// ctx is already done, and whisper cells additionally poll ctx between
+// operation batches so a cancelled grid stops mid-cell instead of
+// simulating to completion. Cancellation never alters results — a cell
+// either runs to completion with byte-identical output or fails with
+// ctx.Err().
+func RunCellCtx(ctx context.Context, c Cell, cache *ProgCache, ocfg obs.Config) (CellResult, error) {
 	if cache == nil {
 		cache = DefaultCache
 	}
 	out := CellResult{Cell: c}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	cfg := c.Config()
 
 	var rt *core.Runtime
@@ -254,7 +238,7 @@ func RunCellObs(c Cell, cache *ProgCache, ocfg obs.Config) (CellResult, error) {
 		if err != nil {
 			return out, err
 		}
-		res, err := whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops, OnRuntime: onRuntime})
+		res, err := whisper.Run(cfg, mk, whisper.RunOpts{Ops: c.Ops, OnRuntime: onRuntime, Interrupt: ctx.Err})
 		out.Result = res
 		snapshot()
 		return out, err

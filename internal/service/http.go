@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	terp "repro"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// TenantHeader names the request header that identifies the submitting
+// tenant; absent means DefaultTenant.
+const TenantHeader = "X-Terp-Tenant"
+
+// DefaultTenant is the tenant for unlabelled requests.
+const DefaultTenant = "default"
+
+// maxSpecBytes bounds a submitted spec document; real specs are a few
+// hundred bytes, so anything larger is garbage or abuse.
+const maxSpecBytes = 1 << 20
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the shared pool size (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds each tenant's queued+running jobs
+	// (<= 0 selects DefaultQueueDepth).
+	QueueDepth int
+	// StoreCap bounds retained finished jobs (<= 0 selects
+	// DefaultStoreCap).
+	StoreCap int
+}
+
+// Server ties the scheduler, result store and HTTP API together.
+type Server struct {
+	sched *Scheduler
+	store *Store
+	mux   *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	store := NewStore(cfg.StoreCap)
+	s := &Server{
+		sched: NewScheduler(cfg.Workers, cfg.QueueDepth, store),
+		store: store,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/grid", s.handleGrid)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the scheduler (tests, stats).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Close drains and shuts down the scheduler and its pool.
+func (s *Server) Close() { s.sched.Close() }
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// handleSubmit admits one spec for the requesting tenant. The body is
+// the versioned ExperimentSpec wire document — exactly what
+// `terpbench -spec` reads — so offline and served runs share one
+// format.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading spec: %w", err))
+		return
+	}
+	spec, err := terp.ParseSpec(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.sched.Submit(tenant, spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// lookup resolves the {id} path segment, writing the 404 itself.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	j, err := s.sched.Lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.sched.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrTerminal):
+		writeJSON(w, http.StatusConflict, j.Status())
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+// finishedGrid fetches the job's grid, writing the conflict/404
+// responses itself when the result is not servable.
+func (s *Server) finishedGrid(w http.ResponseWriter, r *http.Request) (*Job, *terp.Grid, []byte) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return nil, nil, nil
+	}
+	grid, gridJSON := j.Grid()
+	if grid == nil {
+		st := j.Status()
+		writeJSON(w, http.StatusConflict, st)
+		return nil, nil, nil
+	}
+	return j, grid, gridJSON
+}
+
+// handleGrid serves the finished grid's canonical JSON — byte-identical
+// to `terp.Run(spec).JSON()` offline.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	_, _, gridJSON := s.finishedGrid(w, r)
+	if gridJSON == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(gridJSON) //nolint:errcheck
+}
+
+// handleReport serves the self-contained HTML run report built from the
+// job's observability payload (informative but sparse when the spec ran
+// without obs collection).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, grid, _ := s.finishedGrid(w, r)
+	if grid == nil {
+		return
+	}
+	title := fmt.Sprintf("terpd job %s (%s, tenant %s)", j.ID, grid.Name, j.Tenant)
+	rep := report.Build(terp.ReportInput(title, []*terp.Grid{grid}), report.Options{})
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(report.HTML(rep)) //nolint:errcheck
+}
+
+// handleTrace serves the job's Perfetto-loadable Chrome trace (empty
+// when the spec ran without tracing).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	_, grid, _ := s.finishedGrid(w, r)
+	if grid == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", "attachment; filename=trace.json")
+	obs.WriteChromeTrace(w, grid.Traces()) //nolint:errcheck
+}
+
+// handleEvents streams job progress as server-sent events: one `data:`
+// line per Event, ending with the terminal state. The stream re-sends
+// the final Status after the subscription closes so a slow reader never
+// misses the outcome.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
+		return
+	}
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				st := j.Status()
+				send(Event{Job: j.ID, State: st.State, Done: st.Done, Total: st.Total, Error: st.Error})
+				return
+			}
+			if !send(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// experimentsBody is the GET /v1/experiments response.
+type experimentsBody struct {
+	Version     int      `json:"version"`
+	Experiments []string `json:"experiments"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experimentsBody{
+		Version:     terp.WireVersion,
+		Experiments: terp.Experiments(),
+	})
+}
+
+// statsBody is the GET /v1/stats response.
+type statsBody struct {
+	Counters Counters `json:"counters"`
+	Queued   int      `json:"queued"`
+	Running  int      `json:"running"`
+	Tenants  int      `json:"tenants"`
+	Stored   int      `json:"stored"`
+	Workers  int      `json:"workers"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	counters, queued, running, tenants := s.sched.Stats()
+	writeJSON(w, http.StatusOK, statsBody{
+		Counters: counters,
+		Queued:   queued,
+		Running:  running,
+		Tenants:  tenants,
+		Stored:   s.store.Len(),
+		Workers:  s.sched.Pool().Workers(),
+	})
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is the LRU-bounded archive of finished jobs. Completed grids
+// (and their report/trace renderings, derived on demand) are served
+// from here until capacity evicts them; a Get refreshes recency, so a
+// client polling one result keeps it alive while idle results age out.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	byID  map[string]*list.Element // value: *Job
+}
+
+// DefaultStoreCap is the finished-job retention bound when the
+// configuration does not set one.
+const DefaultStoreCap = 256
+
+// NewStore builds a store retaining at most capacity finished jobs
+// (<= 0 selects DefaultStoreCap).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreCap
+	}
+	return &Store{cap: capacity, order: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// Cap returns the retention bound.
+func (s *Store) Cap() int { return s.cap }
+
+// Len returns the current number of retained jobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Put archives a finished job, evicting the least recently used entry
+// when over capacity.
+func (s *Store) Put(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byID[j.ID]; ok {
+		s.order.MoveToFront(e)
+		e.Value = j
+		return
+	}
+	s.byID[j.ID] = s.order.PushFront(j)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byID, oldest.Value.(*Job).ID)
+	}
+}
+
+// Get returns the job (refreshing its recency) or nil.
+func (s *Store) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	s.order.MoveToFront(e)
+	return e.Value.(*Job)
+}

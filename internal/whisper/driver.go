@@ -21,7 +21,15 @@ type RunOpts struct {
 	// OnRuntime, when set, is called with the freshly built runtime
 	// before the run (tracing, inspection).
 	OnRuntime func(*core.Runtime)
+	// Interrupt, when set, is polled every interruptStride operations;
+	// a non-nil return aborts the run with that error. The poll only
+	// observes — a run that completes is byte-identical whether or not
+	// Interrupt was set.
+	Interrupt func() error
 }
+
+// interruptStride is how many operations run between Interrupt polls.
+const interruptStride = 1024
 
 // DefaultOps is the paper's operation count.
 const DefaultOps = 100_000
@@ -77,6 +85,12 @@ func Run(cfg params.Config, mk func() Workload, opts RunOpts) (core.Result, erro
 	idle := func() {
 		ctx.Compute(prof.IdleBase + uint64(rng.Int63n(int64(prof.IdleSpread+1))))
 	}
+	interrupted := func(i int) error {
+		if opts.Interrupt == nil || i%interruptStride != 0 {
+			return nil
+		}
+		return opts.Interrupt()
+	}
 
 	switch cfg.Scheme {
 	case params.Unprotected:
@@ -84,6 +98,9 @@ func Run(cfg params.Config, mk func() Workload, opts RunOpts) (core.Result, erro
 			return core.Result{}, err
 		}
 		for i := 0; i < opts.Ops; i++ {
+			if err := interrupted(i); err != nil {
+				return core.Result{}, err
+			}
 			ctx.Compute(prof.Parse)
 			if err := w.Op(ctx, rng); err != nil {
 				return core.Result{}, fmt.Errorf("%s op %d: %w", w.Name(), i, err)
@@ -96,6 +113,11 @@ func Run(cfg params.Config, mk func() Workload, opts RunOpts) (core.Result, erro
 			batch = 1
 		}
 		for i := 0; i < opts.Ops; {
+			if opts.Interrupt != nil {
+				if err := opts.Interrupt(); err != nil {
+					return core.Result{}, err
+				}
+			}
 			if err := ctx.Attach(p, paging.ReadWrite); err != nil {
 				return core.Result{}, err
 			}
@@ -117,6 +139,9 @@ func Run(cfg params.Config, mk func() Workload, opts RunOpts) (core.Result, erro
 		// TERP insertion: conditional attach/detach around each op's
 		// PM section; parse and idle run outside the window.
 		for i := 0; i < opts.Ops; i++ {
+			if err := interrupted(i); err != nil {
+				return core.Result{}, err
+			}
 			ctx.Compute(prof.Parse)
 			if err := ctx.Attach(p, paging.ReadWrite); err != nil {
 				return core.Result{}, err

@@ -1,6 +1,7 @@
 package terp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -12,26 +13,36 @@ import (
 
 // ExperimentSpec selects and scales one experiment for Run. The zero
 // Opts reproduce the paper's settings; Parallel <= 0 uses every core.
+//
+// The spec doubles as the versioned wire format shared by terpbench
+// (-spec), terpd and its clients: ParseSpec decodes and validates the
+// JSON form, and every serializable field carries a lowerCamel JSON
+// name. Progress is process-local and never crosses the wire.
 type ExperimentSpec struct {
+	// Version is the wire-format version (see WireVersion). The zero
+	// value means "current" so in-process literals need not set it;
+	// ParseSpec rejects anything else it does not speak.
+	Version int `json:"version,omitempty"`
 	// Name is the experiment: one of Experiments().
-	Name string
+	Name string `json:"name"`
 	// Opts scales the runs (ops, kernel scale, seed).
-	Opts ExpOpts
+	Opts ExpOpts `json:"opts"`
 	// Parallel is the worker-pool size for the experiment's cells:
 	// 1 forces a serial run, 0 (or negative) uses GOMAXPROCS. Results
-	// are bit-identical at every worker count.
-	Parallel int
+	// are bit-identical at every worker count. RunOn ignores it (the
+	// shared pool's size governs).
+	Parallel int `json:"parallel,omitempty"`
 	// EWMicros lists the sweep points for the "ewsweep" experiment;
 	// nil selects the default 40/80/160/320 us. Other experiments
 	// ignore it.
-	EWMicros []float64
+	EWMicros []float64 `json:"ewMicros,omitempty"`
 	// Progress, when set, receives live cell-completion events: done
 	// cells out of total, plus the finished cell's display name.
-	Progress func(done, total int, cell string)
+	Progress func(done, total int, cell string) `json:"-"`
 	// Obs selects per-cell tracing/metrics collection; the zero value
 	// (everything off) leaves the Grid byte-identical to an
 	// uninstrumented build.
-	Obs obs.Config
+	Obs obs.Config `json:"obs,omitempty"`
 }
 
 // Grid is one experiment's structured results. Exactly one payload field
@@ -40,6 +51,9 @@ type ExperimentSpec struct {
 // document for the bench trajectory. Two runs with the same spec marshal
 // to identical bytes regardless of worker count.
 type Grid struct {
+	// Version is the wire-format version the grid was produced under
+	// (WireVersion for grids built by this package; see ParseGrids).
+	Version int `json:"version"`
 	// Name is the experiment that ran; Opts the effective options.
 	Name string  `json:"name"`
 	Opts ExpOpts `json:"opts"`
@@ -255,8 +269,32 @@ func Experiments() []string {
 // Run executes one experiment: it enumerates the experiment's cells,
 // executes them across the worker pool (see ExperimentSpec.Parallel) and
 // assembles the structured Grid. The per-experiment helpers (Table3,
-// Figure9, ...) are thin wrappers over Run.
+// Figure9, ...) are thin wrappers over Run, and Run itself is a thin
+// wrapper over RunContext with a background context.
 func Run(spec ExperimentSpec) (*Grid, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: cancelling ctx mid-grid stops
+// scheduling cells, interrupts the running ones at operation
+// granularity, and returns an error satisfying errors.Is(err,
+// ctx.Err()). A run that completes is byte-identical to Run's.
+func RunContext(ctx context.Context, spec ExperimentSpec) (*Grid, error) {
+	return RunOn(ctx, nil, spec)
+}
+
+// RunOn is RunContext on a caller-owned runner.Pool: the experiment's
+// cells execute on the shared persistent workers (spec.Parallel is
+// ignored — the pool's size governs), interleaved round-robin with any
+// other job on the pool. A nil pool falls back to an ephemeral per-call
+// pool of spec.Parallel workers. Grids are byte-identical however the
+// cells were scheduled, which is what lets terpd serve results
+// indistinguishable from offline runs.
+func RunOn(ctx context.Context, pool *runner.Pool, spec ExperimentSpec) (*Grid, error) {
+	if spec.Version != 0 && spec.Version != WireVersion {
+		return nil, fmt.Errorf("terp: unsupported spec version %d (this build speaks version %d)",
+			spec.Version, WireVersion)
+	}
 	e, ok := findExperiment(spec.Name)
 	if !ok {
 		return nil, fmt.Errorf("terp: unknown experiment %q (valid: %s)",
@@ -271,18 +309,26 @@ func Run(spec ExperimentSpec) (*Grid, error) {
 			p := spec.Progress
 			progress = func(done, total int, last runner.Cell) { p(done, total, last.Name()) }
 		}
-		var err error
-		res, err = runner.Execute(e.cells(spec), runner.Options{
+		opt := runner.Options{
 			Workers:  spec.Parallel,
 			Progress: progress,
 			Obs:      spec.Obs,
-		})
+		}
+		var err error
+		if pool != nil {
+			res, err = pool.Run(ctx, e.cells(spec), opt)
+		} else {
+			res, err = runner.ExecuteContext(ctx, e.cells(spec), opt)
+		}
 		if err != nil {
 			return nil, err
 		}
+	} else if err := ctx.Err(); err != nil {
+		// Pure-analysis experiments have no cells; still honor ctx.
+		return nil, err
 	}
 
-	g := &Grid{Name: e.name, Opts: spec.Opts}
+	g := &Grid{Version: WireVersion, Name: e.name, Opts: spec.Opts}
 	if err := e.assemble(spec, res, g); err != nil {
 		return nil, err
 	}
