@@ -23,13 +23,20 @@
 // they are byte-identical at every -parallel value too.
 //
 // Experiments: fig8, table3, fig9, table4, fig10, fig11, table5,
-// semantics, ewsweep, table6, crash.
+// semantics, ewsweep, table6, crash, litmus.
 //
 // The crash experiment is the crash-consistency matrix: every workload
 // runs over the persist-buffer model while a deterministic injector
 // materializes post-crash images (strict fence crashes plus an
 // adversarial seeded sample that drops flushed-but-unfenced lines) and
 // verifies recovery from each one.
+//
+// The litmus experiment is the persistency-model verification matrix:
+// small store/flush/fence litmus programs (hand-written shapes plus
+// seeded generated suites) run over the persist-buffer model, every
+// reachable post-crash image is enumerated exhaustively, and the set is
+// diffed against a declarative Px86-style oracle; the pass criterion is
+// zero non-allowlisted divergences (see DESIGN.md "Litmus engine").
 package main
 
 import (

@@ -818,6 +818,9 @@ type CrashRow struct {
 	Points  int `json:"points"`
 	Undone  int `json:"undone"`
 	Dropped int `json:"dropped"`
+	// Checked counts images cross-checked against the exhaustive
+	// crash-state enumerator (txnpairs cells; see internal/litmus).
+	Checked int `json:"checked,omitempty"`
 	// Failures counts images that failed recovery verification (the
 	// experiment's pass criterion is zero).
 	Failures int `json:"failures"`
@@ -854,17 +857,22 @@ func crashCells(exp string, o ExpOpts) []runner.Cell {
 	ops := crashOps(o.Ops)
 	var cells []runner.Cell
 	for _, name := range names {
+		// txnpairs keeps few writebacks in flight, so its sampled images
+		// are additionally cross-checked against the exhaustive litmus
+		// enumeration; WHISPER working sets exceed the enumeration cap.
+		check := name == "txnpairs"
 		cells = append(cells,
 			runner.Cell{
 				Exp: exp, Label: "fence/strict", Kind: runner.Crash, Workload: name,
 				Seed: o.Seed, Ops: ops,
 				Policy: string(crash.FencePolicy), Every: 23, PointCount: crashPointsPerCell,
+				CrossCheck: check,
 			},
 			runner.Cell{
 				Exp: exp, Label: "random/adv", Kind: runner.Crash, Workload: name,
 				Seed: o.Seed, Ops: ops,
 				Policy: string(crash.RandomPolicy), PointCount: crashPointsPerCell,
-				Adversarial: true,
+				Adversarial: true, CrossCheck: check,
 			})
 	}
 	return cells
@@ -888,6 +896,7 @@ func crashRows(res []runner.CellResult) []CrashRow {
 			Candidates:  rep.Candidates,
 			Points:      len(rep.Points),
 			Undone:      rep.Undone,
+			Checked:     rep.CrossChecked,
 			Failures:    rep.Failures,
 		}
 		for _, p := range rep.Points {
@@ -935,4 +944,127 @@ func FormatCrash(rows []CrashRow) string {
 	}
 	return fmt.Sprintf("Crash matrix: %d injected crash points, %s (extension)\n%s",
 		points, verdict, t.String())
+}
+
+// --- Litmus matrix (extension): persistency-model verification ---------------
+
+// LitmusRow summarizes one litmus suite cell: exhaustive crash-state
+// enumeration over the persist-buffer model diffed against the Px86
+// oracle (see internal/litmus).
+type LitmusRow struct {
+	// Suite names the program source ("named" or "gen/<seed>").
+	Suite string `json:"suite"`
+	// Seed seeds the generator (0 for the named suite).
+	Seed int64 `json:"seed"`
+	// Programs and Events count litmus programs and their persist events.
+	Programs int `json:"programs"`
+	Events   int `json:"events"`
+	// ModelStates and SpecStates sum the exact enumerated image counts.
+	ModelStates int `json:"modelStates"`
+	SpecStates  int `json:"specStates"`
+	// ModelOnly counts spec-forbidden model states (model bugs);
+	// Eviction and WbReplace count the allowlisted spec-only classes.
+	ModelOnly int `json:"modelOnly"`
+	Eviction  int `json:"eviction"`
+	WbReplace int `json:"wbReplace"`
+	// Violations counts non-allowlisted divergences plus expected-count
+	// mismatches (the experiment's pass criterion is zero).
+	Violations int `json:"violations"`
+}
+
+// litmusGenCells is the number of generated-suite cells; each runs
+// litmusProgs(ops) programs under its own seed.
+const litmusGenCells = 4
+
+// litmusProgs derives the generated-program count per cell from the
+// experiment op count: enumeration is exhaustive per program, so depth
+// comes from program variety, not run length.
+func litmusProgs(ops int) int {
+	n := ops / 4000
+	if n < 6 {
+		n = 6
+	}
+	if n > 50 {
+		n = 50
+	}
+	return n
+}
+
+// litmusCells enumerates the matrix: the hand-written named suite, then
+// litmusGenCells generated suites under consecutive seeds.
+func litmusCells(exp string, o ExpOpts) []runner.Cell {
+	cells := []runner.Cell{{
+		Exp: exp, Label: "named", Kind: runner.Litmus, Workload: "named", Seed: o.Seed,
+	}}
+	for i := 0; i < litmusGenCells; i++ {
+		seed := o.Seed + int64(i)
+		cells = append(cells, runner.Cell{
+			Exp: exp, Label: fmt.Sprintf("gen/%d", seed), Kind: runner.Litmus,
+			Workload: "gen", Seed: seed, Ops: litmusProgs(o.Ops),
+		})
+	}
+	return cells
+}
+
+// litmusRows folds one report per cell into rows.
+func litmusRows(res []runner.CellResult) []LitmusRow {
+	var rows []LitmusRow
+	for _, r := range res {
+		rep := r.Litmus
+		if rep == nil {
+			continue
+		}
+		row := LitmusRow{
+			Suite:       rep.Suite,
+			Programs:    rep.Programs,
+			Events:      rep.Events,
+			ModelStates: rep.ModelStates,
+			SpecStates:  rep.SpecStates,
+			ModelOnly:   rep.ModelOnly,
+			Eviction:    rep.Eviction,
+			WbReplace:   rep.WbReplace,
+			Violations:  rep.Violations,
+		}
+		if r.Cell.Workload == "gen" {
+			row.Seed = r.Cell.Seed
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func assembleLitmus(spec ExperimentSpec, res []runner.CellResult, g *Grid) error {
+	g.Litmus = litmusRows(res)
+	return nil
+}
+
+// Litmus runs the persistency-litmus matrix (extension): exhaustive
+// crash-state enumeration of the persist-buffer model cross-checked
+// against the declarative Px86-style oracle.
+func Litmus(o ExpOpts) ([]LitmusRow, error) {
+	g, err := Run(ExperimentSpec{Name: "litmus", Opts: o})
+	if err != nil {
+		return nil, err
+	}
+	return g.Litmus, nil
+}
+
+// FormatLitmus renders the matrix.
+func FormatLitmus(rows []LitmusRow) string {
+	t := stats.NewTable("Suite", "Progs", "Events", "Model", "Spec",
+		"ModelOnly", "Evict", "WbRepl", "Viol")
+	programs, states, violations := 0, 0, 0
+	for _, r := range rows {
+		t.AddRow(r.Suite, r.Programs, r.Events, r.ModelStates, r.SpecStates,
+			r.ModelOnly, r.Eviction, r.WbReplace, r.Violations)
+		programs += r.Programs
+		states += r.ModelStates
+		violations += r.Violations
+	}
+	verdict := "model within spec"
+	if violations > 0 {
+		verdict = fmt.Sprintf("%d VIOLATIONS", violations)
+	}
+	return fmt.Sprintf("Litmus matrix: %d programs, %d enumerated crash states, %s (extension)\n%s",
+		programs, states, verdict, t.String())
 }

@@ -64,6 +64,12 @@ type Spec struct {
 	// Adversarial also drops a seeded subset of flushed-but-unfenced
 	// lines from each image (relaxed persist ordering).
 	Adversarial bool
+	// CrossCheck verifies every sampled image against the exhaustive
+	// crash-state enumerator: whatever the policy and the adversary
+	// choose, the image must be one nvm.ForEachCrashImage materializes
+	// at the same instant. Points whose in-flight writeback set exceeds
+	// the enumeration cap are skipped (and counted), not failed.
+	CrossCheck bool
 	// LineSize overrides the persist-buffer line size (0 = default).
 	LineSize uint64
 }
@@ -79,6 +85,10 @@ type PointResult struct {
 	Dropped int `json:"dropped"`
 	// Undone is the number of undo records recovery rolled back.
 	Undone int `json:"undone"`
+	// Checked reports that the image's membership in the exhaustive
+	// enumeration was verified (CrossCheck specs only; false when the
+	// point was skipped at the enumeration cap).
+	Checked bool `json:"checked,omitempty"`
 	// Err is the verification failure, empty when the image recovered
 	// cleanly with all invariants intact.
 	Err string `json:"err,omitempty"`
@@ -101,6 +111,11 @@ type Report struct {
 	Failures int `json:"failures"`
 	// Undone sums rolled-back records over all points.
 	Undone int `json:"undone"`
+	// CrossChecked and CrossSkipped count points whose image was checked
+	// against the exhaustive enumeration, and points skipped because the
+	// in-flight writeback set exceeded the enumeration cap.
+	CrossChecked int `json:"crossChecked,omitempty"`
+	CrossSkipped int `json:"crossSkipped,omitempty"`
 }
 
 // makeWorkload builds the named workload; every one must be Recoverable.
@@ -170,6 +185,24 @@ func (s Spec) dropper(e nvm.Event, dropped *int) func(uint64) bool {
 		}
 		return false
 	}
+}
+
+// imageInEnumeration reports whether img is one of the images the
+// exhaustive enumerator materializes at the current instant — the
+// cross-check that the sampling injector (dropper included) can never
+// produce a state outside the litmus engine's state space. The walk
+// stops at the first hash match; the error is the enumeration cap.
+func imageInEnumeration(buf *nvm.PersistBuffer, img map[uint64][]byte) (bool, error) {
+	want := nvm.ImageHash(img)
+	found := false
+	err := buf.ForEachCrashImage(func(cand map[uint64][]byte) bool {
+		if nvm.ImageHash(cand) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
 }
 
 // verify reopens the PMO from a post-crash image and checks every
@@ -284,7 +317,7 @@ func Run(s Spec) (*Report, error) {
 		return nil, err
 	}
 	next := 0
-	buf, _, err := s.instrumented(func(dev *nvm.Device, _ *nvm.PersistBuffer, w whisper.Recoverable, e nvm.Event) {
+	buf, _, err := s.instrumented(func(dev *nvm.Device, buf *nvm.PersistBuffer, w whisper.Recoverable, e nvm.Event) {
 		if next >= len(candidates) || e.Index != candidates[next] {
 			return
 		}
@@ -295,6 +328,22 @@ func Run(s Spec) (*Report, error) {
 		pr.Undone = undone
 		if verr != nil {
 			pr.Err = verr.Error()
+		}
+		if s.CrossCheck {
+			if found, cerr := imageInEnumeration(buf, img); cerr != nil {
+				rep.CrossSkipped++
+			} else {
+				pr.Checked = true
+				rep.CrossChecked++
+				if !found {
+					if pr.Err != "" {
+						pr.Err += "; "
+					}
+					pr.Err += "sampled image not in exhaustive enumeration"
+				}
+			}
+		}
+		if pr.Err != "" {
 			rep.Failures++
 		}
 		rep.Undone += undone

@@ -54,6 +54,50 @@ func TestAdversarialRandomTxnPairsRecovers(t *testing.T) {
 	}
 }
 
+// TestCrossCheckSampledImagesAreEnumerable is the property tying the
+// sampling injector to the exhaustive enumerator: whatever policy picks
+// the crash point and whatever subset the adversary drops, the
+// materialized image must be one the litmus engine's ForEachCrashImage
+// walk produces at the same instant. Both go through the same
+// CrashImage path, so a divergence would mean the two materializations
+// have drifted apart.
+func TestCrossCheckSampledImagesAreEnumerable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"fence", Spec{Workload: "txnpairs", Ops: 40, Seed: 1, Policy: FencePolicy, CrossCheck: true}},
+		{"fence/adv", Spec{Workload: "txnpairs", Ops: 40, Seed: 3, Policy: FencePolicy, Adversarial: true, CrossCheck: true}},
+		{"nth", Spec{Workload: "txnpairs", Ops: 40, Seed: 5, Policy: NthPolicy, Every: 7, CrossCheck: true}},
+		{"nth/adv", Spec{Workload: "txnpairs", Ops: 40, Seed: 5, Policy: NthPolicy, Every: 7, Adversarial: true, CrossCheck: true}},
+		{"random", Spec{Workload: "txnpairs", Ops: 40, Seed: 9, Policy: RandomPolicy, Points: 10, CrossCheck: true}},
+		{"random/adv", Spec{Workload: "txnpairs", Ops: 40, Seed: 9, Policy: RandomPolicy, Points: 10, Adversarial: true, CrossCheck: true}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failures != 0 {
+				for _, p := range rep.Points {
+					if p.Err != "" {
+						t.Errorf("event %d (%s): %s", p.Event, p.Kind, p.Err)
+					}
+				}
+				t.Fatalf("%d of %d points failed", rep.Failures, len(rep.Points))
+			}
+			if rep.CrossChecked == 0 {
+				t.Fatalf("no point was cross-checked (%d skipped at the cap)", rep.CrossSkipped)
+			}
+			if rep.CrossChecked+rep.CrossSkipped != len(rep.Points) {
+				t.Fatalf("checked %d + skipped %d != points %d",
+					rep.CrossChecked, rep.CrossSkipped, len(rep.Points))
+			}
+		})
+	}
+}
+
 func TestNthPolicyCountsEvents(t *testing.T) {
 	rep, err := Run(Spec{Workload: "txnpairs", Ops: 10, Seed: 3, Policy: NthPolicy, Every: 25})
 	if err != nil {

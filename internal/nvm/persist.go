@@ -24,10 +24,14 @@ const (
 
 // String names the event kind.
 func (k EventKind) String() string {
-	if k == FlushEvent {
+	switch k {
+	case FlushEvent:
 		return "flush"
+	case FenceEvent:
+		return "fence"
+	default:
+		return "store" // StoreEvent (trace-only, see trace.go)
 	}
-	return "fence"
 }
 
 // Event is one persist operation issued against the device. Index is the
@@ -46,9 +50,15 @@ type lineState struct {
 	// durable is the line's content as the persistent medium last saw it
 	// (captured before the first buffered write dirtied the line).
 	durable []byte
-	// flushed records that a writeback was issued since the last dirtying
-	// write; the line becomes durable at the next fence.
-	flushed bool
+	// wb is the content of the line's in-flight writeback — the bytes a
+	// Flush captured — or nil when no writeback is outstanding. A store
+	// after the flush dirties the cache copy but does NOT cancel the
+	// writeback: clwb/clflushopt is ordered against same-line stores, so
+	// the issued writeback still carries wb to the medium at the next
+	// fence. (The pre-litmus model cleared the flush on re-dirty, which
+	// the Px86 oracle flagged as a model bug: it let a fenced value
+	// vanish while later stores persisted.)
+	wb []byte
 }
 
 // PersistBuffer is a volatile, line-granular store buffer layered over a
@@ -74,6 +84,7 @@ type PersistBuffer struct {
 	fences  uint64
 	drained uint64
 	hook    func(Event)
+	trace   []TraceOp // replayable persist-op log (nil = off; trace.go)
 
 	// Obs, when set, records flush/fence/drain events as instants; NowFn
 	// supplies the issuing thread's simulated clock. Occupancy, when set,
@@ -157,31 +168,55 @@ func (b *PersistBuffer) PendingLines() int { return len(b.pending) }
 // but have not yet reached a fence — the lines a relaxed-ordering crash
 // may or may not retain.
 func (b *PersistBuffer) UnfencedFlushedLines() []uint64 {
-	var out []uint64
+	return b.AppendUnfenced(nil)
+}
+
+// AppendUnfenced appends the line numbers with an in-flight writeback
+// (flushed, not yet fenced) to dst in ascending order and returns the
+// extended slice. Passing a reused dst[:0] makes repeated calls
+// allocation-stable, which the exhaustive enumerator relies on inside
+// its per-event loop; the order is the same order CrashImage consults
+// the drop callback in, so a bitmask over this slice addresses drop
+// decisions deterministically.
+func (b *PersistBuffer) AppendUnfenced(dst []uint64) []uint64 {
+	start := len(dst)
 	for ln, st := range b.pending {
-		if st.flushed {
-			out = append(out, ln)
+		if st.wb != nil {
+			dst = append(dst, ln)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// Insertion sort: the set is small and sort.Slice's closure would
+	// allocate, defeating the reused-dst contract.
+	tail := dst[start:]
+	for i := 1; i < len(tail); i++ {
+		for j := i; j > 0 && tail[j] < tail[j-1]; j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	return dst
 }
 
 // dirty records an impending write of data at off, capturing the durable
 // content of every newly-dirtied line first. A "silent store" — bytes
-// identical to the line's current content — does not re-dirty a line
-// whose writeback is already in flight (the store changes nothing, so
-// whether the earlier writeback drains is unaffected); this keeps the
+// identical to the line's current content — does not dirty a clean line
+// (the store changes nothing durable-visible); this keeps the
 // mirror-write idiom of the workloads (log write + charged runtime store
-// of the same value) from permanently pinning lines in the buffer.
+// of the same value) from permanently pinning lines in the buffer. A
+// store to a line with an in-flight writeback leaves that writeback
+// untouched: flushes are ordered against same-line stores, so the next
+// fence still drains the captured bytes.
 func (b *PersistBuffer) dirty(off uint64, data []byte) {
 	n := uint64(len(data))
 	if n == 0 {
 		return
 	}
+	b.traceStore(off, data)
 	first := off / b.line
 	last := (off + n - 1) / b.line
 	for ln := first; ln <= last; ln++ {
+		if b.pending[ln] != nil {
+			continue // durable copy and any in-flight writeback stand
+		}
 		lineStart := ln * b.line
 		lo, hi := lineStart, lineStart+b.line
 		if off > lo {
@@ -191,51 +226,57 @@ func (b *PersistBuffer) dirty(off uint64, data []byte) {
 			hi = off + n
 		}
 		seg := data[lo-off : hi-off]
-		st := b.pending[ln]
-		if st == nil {
-			cur := make([]byte, b.line)
-			b.dev.readRaw(cur, lineStart)
-			if bytesEqual(seg, cur[lo-lineStart:hi-lineStart]) {
-				continue // silent store to a clean line
-			}
-			b.pending[ln] = &lineState{durable: cur}
-			continue
+		cur := make([]byte, b.line)
+		b.dev.readRaw(cur, lineStart)
+		if bytesEqual(seg, cur[lo-lineStart:hi-lineStart]) {
+			continue // silent store to a clean line
 		}
-		if st.flushed {
-			cur := make([]byte, hi-lo)
-			b.dev.readRaw(cur, lo)
-			if bytesEqual(seg, cur) {
-				continue // silent store: in-flight writeback unaffected
-			}
-			st.flushed = false
-		}
+		b.pending[ln] = &lineState{durable: cur}
 	}
 }
 
-// flush marks every line overlapping [off, off+n) as written back.
+// flush issues a writeback for every line overlapping [off, off+n),
+// capturing each line's content at this instant. Re-flushing a line
+// replaces its in-flight capture with the newer content.
 func (b *PersistBuffer) flush(off, n uint64) {
 	b.emit(FlushEvent)
+	b.traceOp(FlushEvent, off, n)
 	b.flushes++
 	first := off / b.line
 	last := (off + n - 1) / b.line
 	for ln := first; ln <= last; ln++ {
 		if st := b.pending[ln]; st != nil {
-			st.flushed = true
+			if st.wb == nil {
+				st.wb = make([]byte, b.line)
+			}
+			b.dev.readRaw(st.wb, ln*b.line)
 		}
 	}
 }
 
-// fence drains every flushed line: its current content becomes durable.
+// fence drains every in-flight writeback: the bytes each flush captured
+// become durable. A line whose cache copy was re-dirtied after the flush
+// stays pending (its newer content is still volatile), but its durable
+// content advances to the writeback — the flush was issued and a persist
+// barrier completes it, whatever stores came later.
 func (b *PersistBuffer) fence() {
 	b.emit(FenceEvent)
+	b.traceOp(FenceEvent, 0, 0)
 	b.fences++
 	var n uint64
 	for ln, st := range b.pending {
-		if st.flushed {
-			delete(b.pending, ln)
-			b.drained++
-			n++
+		if st.wb == nil {
+			continue
 		}
+		cur := make([]byte, b.line)
+		b.dev.readRaw(cur, ln*b.line)
+		if bytesEqual(cur, st.wb) {
+			delete(b.pending, ln) // cache copy matches the medium: clean
+		} else {
+			st.durable, st.wb = st.wb, nil // still dirty past the drain
+		}
+		b.drained++
+		n++
 	}
 	if n > 0 {
 		b.Obs.Instant(b.now(), obs.CatNVM, "drain", int64(n))
@@ -270,11 +311,17 @@ func (b *PersistBuffer) reset() {
 // CrashImage materializes the post-crash durable state: the device's
 // current pages with every dirty, unflushed line reverted to its durable
 // content. dropFlushed, when non-nil, is consulted (in ascending line
-// order, so seeded decisions are deterministic) for each line whose
-// writeback was issued but not yet fenced; returning true reverts that
-// line too, modeling relaxed persist ordering where an in-flight
-// writeback may not have drained when power failed. A nil dropFlushed
-// retains every flushed line (strict drain-on-flush ordering).
+// order, so seeded decisions are deterministic) for each line with an
+// in-flight writeback; returning true reverts that line to its durable
+// content, modeling relaxed persist ordering where the writeback had not
+// drained when power failed, while returning false lands the bytes the
+// flush captured (which may be older than the cache copy if the line
+// was re-dirtied after the flush). A nil dropFlushed retains every
+// in-flight writeback (strict drain-on-flush ordering).
+//
+// This is the single materialization path: the sampling injector
+// (internal/crash) and the exhaustive enumerator (ForEachCrashImage,
+// internal/litmus) both land here, so the two cannot drift.
 func (b *PersistBuffer) CrashImage(dropFlushed func(line uint64) bool) map[uint64][]byte {
 	img := b.dev.Snapshot()
 	lines := make([]uint64, 0, len(b.pending))
@@ -284,8 +331,9 @@ func (b *PersistBuffer) CrashImage(dropFlushed func(line uint64) bool) map[uint6
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, ln := range lines {
 		st := b.pending[ln]
-		if st.flushed && (dropFlushed == nil || !dropFlushed(ln)) {
-			continue
+		content := st.durable
+		if st.wb != nil && (dropFlushed == nil || !dropFlushed(ln)) {
+			content = st.wb
 		}
 		off := ln * b.line
 		pn := off / pageSize
@@ -295,7 +343,7 @@ func (b *PersistBuffer) CrashImage(dropFlushed func(line uint64) bool) map[uint6
 			img[pn] = p
 		}
 		in := off % pageSize
-		copy(p[in:in+b.line], st.durable)
+		copy(p[in:in+b.line], content)
 	}
 	return img
 }

@@ -66,15 +66,50 @@ func TestPersistBufferFenceDrains(t *testing.T) {
 	}
 }
 
-func TestPersistBufferRewriteAfterFlushRedirties(t *testing.T) {
+// TestPersistBufferRedirtyKeepsWritebackInFlight is the regression test
+// for the model bug the litmus oracle found: a store to a line after its
+// flush used to cancel the in-flight writeback entirely, so a fence
+// could complete while the flushed value silently vanished — letting
+// later persists land with the earlier, fence-ordered value lost, which
+// Px86 forbids (clwb/clflushopt is ordered against same-line stores).
+// The writeback must drain the bytes the flush captured; the newer store
+// stays volatile until its own flush.
+func TestPersistBufferRedirtyKeepsWritebackInFlight(t *testing.T) {
 	d := NewDevice(NVM, 1<<20)
 	d.EnablePersistBuffer(64)
 	d.Write8(0, 1)
 	d.Flush(0, 8)
-	d.Write8(0, 2) // different bytes: the line is dirty again
-	d.Fence()      // must NOT drain the re-dirtied line
-	if v := img8(t, d.CrashImage(nil), 0); v != 0 {
-		t.Fatalf("re-dirtied line drained at fence: durable = %d", v)
+	d.Write8(0, 2) // different bytes: the cache copy is dirty again
+	d.Fence()      // ...but the issued writeback of 1 still drains
+	if v := img8(t, d.CrashImage(nil), 0); v != 1 {
+		t.Fatalf("fence lost the in-flight writeback: durable = %d, want 1", v)
+	}
+	if v, _ := d.Read8(0); v != 2 {
+		t.Fatalf("cache view = %d, want 2", v)
+	}
+	// The newer value becomes durable only via its own flush+fence.
+	d.Flush(0, 8)
+	d.Fence()
+	if v := img8(t, d.CrashImage(nil), 0); v != 2 {
+		t.Fatalf("second flush+fence did not drain: durable = %d", v)
+	}
+}
+
+// TestPersistBufferRedirtiedWritebackMayStillDrop checks the relaxed
+// side: before the fence the re-dirtied line's image is either the
+// pre-flush durable value (writeback not drained) or the flush capture —
+// never the newer volatile store.
+func TestPersistBufferRedirtiedWritebackMayStillDrop(t *testing.T) {
+	d := NewDevice(NVM, 1<<20)
+	d.EnablePersistBuffer(64)
+	d.Write8(0, 1)
+	d.Flush(0, 8)
+	d.Write8(0, 2)
+	if v := img8(t, d.CrashImage(nil), 0); v != 1 {
+		t.Fatalf("kept writeback = %d, want the flush capture 1", v)
+	}
+	if v := img8(t, d.CrashImage(func(uint64) bool { return true }), 0); v != 0 {
+		t.Fatalf("dropped writeback = %d, want pre-flush 0", v)
 	}
 }
 

@@ -1,0 +1,55 @@
+package nvm
+
+// The replayable persist-op trace. When enabled, the buffer records every
+// store, flush and fence it observes, with enough information (offsets,
+// lengths, store bytes) that a consumer can replay the run's persistency
+// behavior without the device: the litmus oracle (internal/litmus)
+// derives the specification-allowed crash-state set purely from this
+// trace. Stores are trace-only — they are not persist events, never
+// reach the event hook, and do not advance the flush+fence ordinal.
+
+// StoreEvent marks a trace entry for a buffered write. It extends
+// EventKind for TraceOp records only; stores never appear in the
+// SetEventHook stream and never consume an Event.Index.
+const StoreEvent EventKind = 2
+
+// TraceOp is one entry of the replayable persist-op trace.
+type TraceOp struct {
+	// Kind is StoreEvent, FlushEvent or FenceEvent.
+	Kind EventKind
+	// Off and Len locate the affected byte range (stores and flushes;
+	// zero for fences, which order the whole buffer).
+	Off, Len uint64
+	// Data holds the written bytes (stores only).
+	Data []byte
+	// Index is the persist-event ordinal (flushes and fences; stores
+	// carry 0 — they have no position in the persist-event stream).
+	Index uint64
+}
+
+// EnableTrace starts recording the replayable persist-op trace. It is
+// meant for small litmus-style programs; traces grow with every store,
+// so long workload runs should leave it off.
+func (b *PersistBuffer) EnableTrace() { b.trace = make([]TraceOp, 0, 64) }
+
+// TraceOps returns the recorded trace in program order.
+func (b *PersistBuffer) TraceOps() []TraceOp { return b.trace }
+
+// traceStore records a buffered write (no-op when tracing is off).
+func (b *PersistBuffer) traceStore(off uint64, data []byte) {
+	if b.trace == nil {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.trace = append(b.trace, TraceOp{Kind: StoreEvent, Off: off, Len: uint64(len(data)), Data: cp})
+}
+
+// traceOp records a flush or fence. It runs right after emit, so the
+// event's ordinal is the counter's previous value.
+func (b *PersistBuffer) traceOp(k EventKind, off, n uint64) {
+	if b.trace == nil {
+		return
+	}
+	b.trace = append(b.trace, TraceOp{Kind: k, Off: off, Len: n, Index: b.events - 1})
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crash"
+	"repro/internal/litmus"
 	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/speckit"
@@ -41,6 +42,8 @@ const (
 	Spec
 	// Crash runs one fault-injection spec through internal/crash.
 	Crash
+	// Litmus runs one persistency-litmus suite through internal/litmus.
+	Litmus
 )
 
 // String names the kind for progress labels.
@@ -52,6 +55,8 @@ func (k Kind) String() string {
 		return "spec"
 	case Crash:
 		return "crash"
+	case Litmus:
+		return "litmus"
 	default:
 		return "unknown"
 	}
@@ -88,6 +93,9 @@ type Cell struct {
 	Policy                        string
 	Every, PointStart, PointCount int
 	Adversarial                   bool
+	// CrossCheck verifies each sampled crash image against the
+	// exhaustive enumerator (Crash cells only).
+	CrossCheck bool
 }
 
 // Config builds the cell's protection configuration.
@@ -119,6 +127,8 @@ type CellResult struct {
 	Result core.Result
 	// Crash is the fault-injection report (Crash cells only).
 	Crash *crash.Report
+	// Litmus is the persistency-litmus report (Litmus cells only).
+	Litmus *litmus.Report
 	// Obs is the cell's observability payload (nil when collection is
 	// off). Because each cell owns its own recorder and snapshot, the
 	// payload is identical at any worker count.
@@ -282,6 +292,7 @@ func RunCellCtx(ctx context.Context, c Cell, cache *ProgCache, ocfg obs.Config) 
 			PointStart:  c.PointStart,
 			Points:      c.PointCount,
 			Adversarial: c.Adversarial,
+			CrossCheck:  c.CrossCheck,
 		})
 		out.Crash = rep
 		if ocfg.Metrics && rep != nil {
@@ -294,6 +305,36 @@ func RunCellCtx(ctx context.Context, c Cell, cache *ProgCache, ocfg obs.Config) 
 			s.Add("crash/points", uint64(len(rep.Points)))
 			s.Add("crash/failures", uint64(rep.Failures))
 			s.Add("crash/undone", uint64(rep.Undone))
+			s.Add("crash/crosschecked", uint64(rep.CrossChecked))
+			s.Add("crash/crossskipped", uint64(rep.CrossSkipped))
+			out.Obs = &obs.CellObs{Cell: c.Name(), Metrics: s}
+		}
+		return out, err
+	case Litmus:
+		var progs []litmus.Program
+		suite := c.Workload
+		switch c.Workload {
+		case "named":
+			progs = litmus.Named()
+		case "gen":
+			progs = litmus.Generate(c.Seed, c.Ops)
+			suite = fmt.Sprintf("gen/%d", c.Seed)
+		default:
+			return out, fmt.Errorf("runner: unknown litmus suite %q", c.Workload)
+		}
+		rep, err := litmus.RunSuite(suite, progs, litmus.DefaultAllowlist())
+		out.Litmus = rep
+		if ocfg.Metrics && rep != nil {
+			// Litmus cells run outside a core.Runtime; surface the
+			// engine's enumeration counters instead.
+			s := obs.NewSnapshot()
+			s.Add("litmus/programs", uint64(rep.Programs))
+			s.Add("litmus/events", uint64(rep.Events))
+			s.Add("litmus/modelstates", uint64(rep.ModelStates))
+			s.Add("litmus/specstates", uint64(rep.SpecStates))
+			s.Add("litmus/evictions", uint64(rep.Eviction))
+			s.Add("litmus/wbreplace", uint64(rep.WbReplace))
+			s.Add("litmus/violations", uint64(rep.Violations))
 			out.Obs = &obs.CellObs{Cell: c.Name(), Metrics: s}
 		}
 		return out, err

@@ -76,6 +76,8 @@ type Grid struct {
 	Frontier []EWSweepRow `json:"frontier,omitempty"`
 	// Crash holds the crash-consistency fault-injection matrix.
 	Crash []CrashRow `json:"crash,omitempty"`
+	// Litmus holds the persistency-model litmus matrix.
+	Litmus []LitmusRow `json:"litmus,omitempty"`
 
 	// Obs holds per-cell metrics and trace summaries when the spec
 	// enabled collection; nil (and absent from the JSON) otherwise, so
@@ -237,6 +239,12 @@ var experimentTable = []experiment{
 		cells:    func(s ExperimentSpec) []runner.Cell { return crashCells("crash", s.Opts) },
 		assemble: assembleCrash,
 		format:   func(g *Grid) string { return FormatCrash(g.Crash) },
+	},
+	{
+		name:     "litmus",
+		cells:    func(s ExperimentSpec) []runner.Cell { return litmusCells("litmus", s.Opts) },
+		assemble: assembleLitmus,
+		format:   func(g *Grid) string { return FormatLitmus(g.Litmus) },
 	},
 }
 

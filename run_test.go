@@ -51,7 +51,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestExperimentsListsEveryRegisteredName(t *testing.T) {
 	names := Experiments()
 	want := []string{"fig8", "table3", "fig9", "table4", "fig10", "fig11",
-		"table5", "semantics", "ewsweep", "table6", "crash"}
+		"table5", "semantics", "ewsweep", "table6", "crash", "litmus"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -215,5 +215,43 @@ func TestCrashMatrixRecoversAndIsDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(serial.Format(), "Crash matrix") {
 		t.Fatal("Format did not render the crash table")
+	}
+}
+
+// TestLitmusMatrixIsCleanAndDeterministic runs the litmus experiment at
+// test scale and checks its contract: exhaustive enumeration finds
+// states in every suite, the oracle diff reports zero violations, and
+// the parallel grid marshals to exactly the serial bytes.
+func TestLitmusMatrixIsCleanAndDeterministic(t *testing.T) {
+	opts := ExpOpts{Ops: 300, Seed: 5} // litmusProgs clamps this to its floor
+	serial, err := Run(ExperimentSpec{Name: "litmus", Opts: opts, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ExperimentSpec{Name: "litmus", Opts: opts, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := serial.JSON()
+	pj, _ := par.JSON()
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("parallel litmus grid differs from serial:\n--- serial\n%s\n--- parallel\n%s", sj, pj)
+	}
+	if len(serial.Litmus) != 1+litmusGenCells {
+		t.Fatalf("rows = %d, want %d", len(serial.Litmus), 1+litmusGenCells)
+	}
+	for _, r := range serial.Litmus {
+		if r.Programs == 0 || r.ModelStates == 0 {
+			t.Errorf("%s: empty suite (%d programs, %d states)", r.Suite, r.Programs, r.ModelStates)
+		}
+		if r.ModelOnly != 0 {
+			t.Errorf("%s: %d spec-forbidden model states", r.Suite, r.ModelOnly)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s: %d non-allowlisted divergences", r.Suite, r.Violations)
+		}
+	}
+	if !strings.Contains(serial.Format(), "Litmus matrix") {
+		t.Fatal("Format did not render the litmus table")
 	}
 }
