@@ -8,8 +8,11 @@
 // Every tenant runs its jobs FIFO: submit (retrying with backoff on
 // 429 admission rejections), then poll to completion. The summary
 // reports jobs by outcome, total simulated cells, wall-clock cells/sec
-// (the number that must scale with terpd -workers), and the 429/5xx
-// counts. With -verify, one finished grid is fetched and byte-compared
+// (the number that must scale with terpd -workers), the 429/5xx counts,
+// and a per-request latency table (p50/p90/p99/max over the submit
+// round-trips, status polls, and whole job submit→done waits). With
+// -out, the same summary is written as JSON for trend tracking across
+// runs. With -verify, one finished grid is fetched and byte-compared
 // against `terp.Run` executed in-process with the same spec — the
 // determinism contract over the wire.
 //
@@ -25,12 +28,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	terp "repro"
 	"repro/internal/service"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -44,6 +49,7 @@ func main() {
 	verify := flag.Bool("verify", false, "byte-compare one served grid against an offline in-process run")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	out := flag.String("out", "", "write the run summary (throughput + latency percentiles) as JSON")
 	flag.Parse()
 
 	names := strings.Split(*exps, ",")
@@ -111,8 +117,24 @@ func main() {
 		*tenants, *jobs, done, failed, elapsed.Seconds())
 	fmt.Printf("loadgen: %d cells, %.1f cells/sec, %d admission retries (429), %d server errors (5xx)\n",
 		cells, rate, lg.retries.Load(), lg.serverErrs.Load())
+	lg.lat.printTable(os.Stdout)
 
 	ok := failed == 0 && lg.serverErrs.Load() == 0
+	if *out != "" {
+		doc := summaryDoc{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Addr:        *addr, Tenants: *tenants, JobsPerTenant: *jobs,
+			Experiments: names, Ops: *ops, Scale: *scale, Seed: *seed,
+			ElapsedSec: elapsed.Seconds(), JobsDone: done, JobsFailed: failed,
+			Cells: cells, CellsPerSec: rate,
+			Retries429: lg.retries.Load(), ServerErrs5xx: lg.serverErrs.Load(),
+			Latencies: lg.lat.summaries(),
+		}
+		if err := writeSummary(*out, &doc); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -out:", err)
+			ok = false
+		}
+	}
 	if *verify {
 		if firstDone == nil {
 			fmt.Fprintln(os.Stderr, "loadgen: -verify: no completed job to verify")
@@ -146,6 +168,113 @@ type loadgen struct {
 	deadline   time.Time
 	retries    counter
 	serverErrs counter
+	lat        latencies
+}
+
+// Latency kinds recorded by the run, in table order.
+const (
+	latSubmit = "http submit" // accepted POST /v1/jobs round-trip
+	latStatus = "http status" // GET /v1/jobs/{id} round-trip
+	latJob    = "job e2e"     // submit accepted -> terminal state observed
+)
+
+var latKinds = []string{latSubmit, latStatus, latJob}
+
+// latencies collects wall-clock samples per kind.
+type latencies struct {
+	mu      sync.Mutex
+	samples map[string][]float64 // seconds
+}
+
+func (l *latencies) add(kind string, d time.Duration) {
+	l.mu.Lock()
+	if l.samples == nil {
+		l.samples = make(map[string][]float64)
+	}
+	l.samples[kind] = append(l.samples[kind], d.Seconds())
+	l.mu.Unlock()
+}
+
+// latSummary is one kind's percentile digest (milliseconds, for
+// readability in trend JSON).
+type latSummary struct {
+	Kind  string  `json:"kind"`
+	N     int     `json:"n"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+func (l *latencies) summaries() []latSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []latSummary
+	for _, kind := range latKinds {
+		xs := l.samples[kind]
+		if len(xs) == 0 {
+			continue
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		out = append(out, latSummary{
+			Kind: kind, N: len(s),
+			P50Ms: 1e3 * stats.Percentile(s, 50),
+			P90Ms: 1e3 * stats.Percentile(s, 90),
+			P99Ms: 1e3 * stats.Percentile(s, 99),
+			MaxMs: 1e3 * s[len(s)-1],
+		})
+	}
+	return out
+}
+
+func (l *latencies) printTable(w io.Writer) {
+	sums := l.summaries()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "loadgen: %-12s %8s %10s %10s %10s %10s\n",
+		"latency", "n", "p50", "p90", "p99", "max")
+	for _, s := range sums {
+		fmt.Fprintf(w, "loadgen: %-12s %8d %10s %10s %10s %10s\n",
+			s.Kind, s.N, fmtMs(s.P50Ms), fmtMs(s.P90Ms), fmtMs(s.P99Ms), fmtMs(s.MaxMs))
+	}
+}
+
+func fmtMs(ms float64) string {
+	if ms >= 1000 {
+		return fmt.Sprintf("%.2fs", ms/1e3)
+	}
+	return fmt.Sprintf("%.1fms", ms)
+}
+
+// summaryDoc is the -out JSON document: enough configuration to compare
+// like with like across runs, plus throughput and latency digests.
+type summaryDoc struct {
+	GeneratedAt   string       `json:"generatedAt"`
+	Addr          string       `json:"addr"`
+	Tenants       int          `json:"tenants"`
+	JobsPerTenant int          `json:"jobsPerTenant"`
+	Experiments   []string     `json:"experiments"`
+	Ops           int          `json:"ops"`
+	Scale         int          `json:"scale"`
+	Seed          int64        `json:"seed"`
+	ElapsedSec    float64      `json:"elapsedSec"`
+	JobsDone      int          `json:"jobsDone"`
+	JobsFailed    int          `json:"jobsFailed"`
+	Cells         int          `json:"cells"`
+	CellsPerSec   float64      `json:"cellsPerSec"`
+	Retries429    int          `json:"retries429"`
+	ServerErrs5xx int          `json:"serverErrs5xx"`
+	Latencies     []latSummary `json:"latencies"`
+}
+
+func writeSummary(path string, doc *summaryDoc) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // counter is a small atomic counter (avoiding sync/atomic noise at call
@@ -208,6 +337,7 @@ func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(service.TenantHeader, tenant)
+		reqStart := time.Now()
 		resp, err := l.client.Do(req)
 		if err != nil {
 			o.err = err
@@ -215,6 +345,7 @@ func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
 		}
 		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		rtt := time.Since(reqStart)
 		if resp.StatusCode == http.StatusTooManyRequests {
 			l.retries.Add(1)
 			time.Sleep(time.Duration(min(attempt+1, 20)) * 50 * time.Millisecond)
@@ -231,9 +362,11 @@ func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
 			o.err = fmt.Errorf("submit: parsing status: %w", err)
 			return o
 		}
+		l.lat.add(latSubmit, rtt)
 		break
 	}
 
+	accepted := time.Now()
 	for {
 		if time.Now().After(l.deadline) {
 			o.err = fmt.Errorf("deadline exceeded waiting for job %s", st.ID)
@@ -253,6 +386,7 @@ func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
 		}
 		if cur.State.Terminal() {
 			o.status = cur
+			l.lat.add(latJob, time.Since(accepted))
 			if cur.State != service.StateDone {
 				o.err = fmt.Errorf("job %s ended %s: %s", cur.ID, cur.State, cur.Error)
 			}
@@ -263,10 +397,12 @@ func (l *loadgen) runJob(tenant string, spec terp.ExperimentSpec) outcome {
 }
 
 func (l *loadgen) getStatus(id string) (service.Status, int, error) {
+	reqStart := time.Now()
 	resp, err := l.client.Get(l.base + "/v1/jobs/" + id)
 	if err != nil {
 		return service.Status{}, 0, err
 	}
+	l.lat.add(latStatus, time.Since(reqStart))
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -8,6 +8,7 @@
 //	terpd -addr :9000 -workers 8   # explicit bind + pool size
 //	terpd -queue-depth 4           # admit at most 4 jobs per tenant (429 beyond)
 //	terpd -results 64              # retain the 64 most recent finished jobs
+//	terpd -ops-addr 127.0.0.1:8322 # opt-in ops listener with /debug/pprof/
 //
 // API (specs and grids use the versioned wire format of `terpbench
 // -spec`/-json — see terp.WireVersion):
@@ -21,11 +22,19 @@
 //	GET    /v1/jobs/{id}/grid  finished grid JSON — byte-identical to the
 //	                           offline `terp.Run` result for the same spec
 //	GET    /v1/jobs/{id}/report  self-contained HTML run report
-//	GET    /v1/jobs/{id}/trace   Perfetto-loadable Chrome trace JSON
+//	GET    /v1/jobs/{id}/trace   Perfetto trace: sim-cycle tracks plus the
+//	                             wall-clock job-lifecycle track
 //	GET    /v1/jobs/{id}/events  live progress as server-sent events
 //	GET    /v1/experiments     experiment names + wire version
-//	GET    /v1/stats           scheduler counters and queue occupancy
+//	GET    /v1/stats           scheduler counters, pool occupancy and the
+//	                           telemetry registry as JSON
+//	GET    /metrics            Prometheus text exposition (host telemetry)
+//	GET    /dashboard          live ops dashboard (polls /dashboard/panel)
 //	GET    /healthz            liveness
+//
+// The opt-in ops listener (-ops-addr) additionally mounts Go's
+// net/http/pprof profiling handlers under /debug/pprof/, kept off the
+// public listener so profiling can bind to localhost only.
 //
 // The bundled load generator lives at ./loadgen.
 package main
@@ -36,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +57,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
+	opsAddr := flag.String("ops-addr", "", "optional ops listener (pprof, metrics, dashboard); empty disables")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation worker-pool size")
 	queueDepth := flag.Int("queue-depth", service.DefaultQueueDepth, "max queued+running jobs per tenant before 429")
 	storeCap := flag.Int("results", service.DefaultStoreCap, "finished jobs retained in the LRU result store")
@@ -56,13 +67,25 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		StoreCap:   *storeCap,
+		AccessLog:  accessLog,
 	})
-	hs := &http.Server{Addr: *addr, Handler: accessLog(srv.Handler())}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "terpd: serving on %s (%d workers, queue depth %d, %d results retained)\n",
 		*addr, *workers, *queueDepth, *storeCap)
+
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{Addr: *opsAddr, Handler: opsMux(srv)}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "terpd: ops listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "terpd: ops listener on %s (/debug/pprof/, /metrics, /dashboard)\n", *opsAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -76,60 +99,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "terpd: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		if ops != nil {
+			ops.Shutdown(ctx) //nolint:errcheck
+		}
 		cancel()
 	}
 	srv.Close()
 	fmt.Fprintln(os.Stderr, "terpd: stopped")
 }
 
-// logWriter records the status and byte count of a response. It keeps a
-// Flush method so the SSE events endpoint still sees an http.Flusher
-// through the wrapper.
-type logWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-func (w *logWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *logWriter) Write(p []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	n, err := w.ResponseWriter.Write(p)
-	w.bytes += n
-	return n, err
-}
-
-func (w *logWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// accessLog writes one line per request to stderr:
+// accessLog writes one line per request to stderr. It runs inside the
+// telemetry middleware, so the duration and status here are exactly the
+// values the request histograms observed:
 //
 //	terpd: alice "POST /v1/jobs" 202 217B 1ms
-func accessLog(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		lw := &logWriter{ResponseWriter: w}
-		start := time.Now()
-		h.ServeHTTP(lw, r)
-		if lw.status == 0 {
-			lw.status = http.StatusOK
-		}
-		tenant := r.Header.Get(service.TenantHeader)
-		if tenant == "" {
-			tenant = service.DefaultTenant
-		}
-		fmt.Fprintf(os.Stderr, "terpd: %s %q %d %dB %s\n",
-			tenant, r.Method+" "+r.URL.Path, lw.status, lw.bytes,
-			time.Since(start).Round(time.Millisecond))
+func accessLog(r *http.Request, route string, status, bytes int, elapsed time.Duration) {
+	tenant := r.Header.Get(service.TenantHeader)
+	if tenant == "" {
+		tenant = service.DefaultTenant
+	}
+	fmt.Fprintf(os.Stderr, "terpd: %s %q %d %dB %s\n",
+		tenant, r.Method+" "+r.URL.Path, status, bytes,
+		elapsed.Round(time.Millisecond))
+}
+
+// opsMux builds the ops listener: Go's pprof profiling handlers plus
+// the telemetry endpoints, so an operator can profile and scrape on a
+// localhost-only port while the public listener stays lean.
+func opsMux(srv *service.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.Handler())
+	mux.Handle("/dashboard", srv.Handler())
+	mux.Handle("/dashboard/panel", srv.Handler())
+	mux.Handle("/v1/stats", srv.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
 	})
+	return mux
 }

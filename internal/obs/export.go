@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/params"
 )
@@ -37,6 +38,26 @@ type chromeTrace struct {
 // within it; timestamps are simulated cycles converted to microseconds,
 // so the output is byte-identical across hosts and worker counts.
 func WriteChromeTrace(w io.Writer, cells []CellTrace) error {
+	return WriteChromeTraceWall(w, cells, "", nil)
+}
+
+// WallSpan is one wall-clock phase on the host-side track: a span when
+// End > Start, an instant when they coincide. Offsets are relative to
+// the track's origin (typically job submission).
+type WallSpan struct {
+	// Name is the phase label ("queued", "run", "serve").
+	Name string
+	// Start and End are wall-clock offsets from the track origin.
+	Start, End time.Duration
+}
+
+// WriteChromeTraceWall writes the cells' simulated-cycle tracks plus,
+// when spans are given, one extra process carrying the host wall-clock
+// job lifecycle — so a single Perfetto view shows simulated time and
+// real time side by side. The wall track is informational and
+// host-dependent; the sim-cycle tracks keep their deterministic bytes
+// (WriteChromeTrace is exactly this call with no wall track).
+func WriteChromeTraceWall(w io.Writer, cells []CellTrace, wallTrack string, spans []WallSpan) error {
 	var out chromeTrace
 	out.DisplayTimeUnit = "ns"
 	for pid, cell := range cells {
@@ -86,6 +107,34 @@ func WriteChromeTrace(w io.Writer, cells []CellTrace) error {
 				ce.Args = map[string]string{"arg": itoa64(e.Arg)}
 			}
 			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	if len(spans) > 0 {
+		pid := len(cells)
+		if wallTrack == "" {
+			wallTrack = "wall-clock"
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": wallTrack},
+			},
+			chromeEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: pid, Tid: 1,
+				Args: map[string]string{"name": "host"},
+			})
+		for _, sp := range spans {
+			start := float64(sp.Start.Nanoseconds()) / 1e3
+			end := float64(sp.End.Nanoseconds()) / 1e3
+			if sp.End <= sp.Start {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: sp.Name, Cat: "wall", Ph: "i", TS: start, Pid: pid, Tid: 1, S: "t",
+				})
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: sp.Name, Cat: "wall", Ph: "B", TS: start, Pid: pid, Tid: 1},
+				chromeEvent{Name: sp.Name, Cat: "wall", Ph: "E", TS: end, Pid: pid, Tid: 1})
 		}
 	}
 	enc := json.NewEncoder(w)

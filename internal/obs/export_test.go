@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceWallTrack: with wall spans given, the export carries
+// one extra process after the cells, holding B/E spans (and "i"
+// instants for zero-width phases) on a "host" thread — and the
+// sim-cycle events stay byte-for-byte what WriteChromeTrace emits.
+func TestChromeTraceWallTrack(t *testing.T) {
+	r := NewRecorder(0)
+	r.Track(0).Span(1, 9, CatCore, "c", 3)
+	cells := []CellTrace{{Name: "x", Events: r.Events()}}
+
+	var plain, wall bytes.Buffer
+	if err := WriteChromeTrace(&plain, cells); err != nil {
+		t.Fatal(err)
+	}
+	spans := []WallSpan{
+		{Name: "queued", Start: 0, End: 2 * time.Millisecond},
+		{Name: "run", Start: 2 * time.Millisecond, End: 10 * time.Millisecond},
+		{Name: "serve", Start: 15 * time.Millisecond, End: 15 * time.Millisecond},
+	}
+	if err := WriteChromeTraceWall(&wall, cells, "wall-clock (host)", spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(wall.Bytes(), &doc); err != nil {
+		t.Fatalf("wall trace is not valid JSON: %v", err)
+	}
+
+	wallPid := float64(len(cells))
+	var simEvents, wallEvents []map[string]any
+	for _, e := range doc.TraceEvents {
+		if e["pid"].(float64) == wallPid {
+			wallEvents = append(wallEvents, e)
+		} else {
+			simEvents = append(simEvents, e)
+		}
+	}
+
+	// Sim events are the exact prefix: the wall track is purely additive.
+	var plainDoc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(plain.Bytes(), &plainDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(simEvents) != len(plainDoc.TraceEvents) {
+		t.Fatalf("sim events changed: %d with wall track, %d without", len(simEvents), len(plainDoc.TraceEvents))
+	}
+
+	// The wall process is named and phase-complete.
+	byPhase := map[string][]string{}
+	sawProcName := false
+	for _, e := range wallEvents {
+		name := e["name"].(string)
+		ph := e["ph"].(string)
+		if ph == "M" {
+			if name == "process_name" {
+				sawProcName = true
+				if got := e["args"].(map[string]any)["name"]; got != "wall-clock (host)" {
+					t.Errorf("wall process name = %v, want wall-clock (host)", got)
+				}
+			}
+			continue
+		}
+		if e["cat"] != "wall" {
+			t.Errorf("wall event %q has cat %v, want wall", name, e["cat"])
+		}
+		byPhase[ph] = append(byPhase[ph], name)
+	}
+	if !sawProcName {
+		t.Error("wall track missing process_name metadata")
+	}
+	if len(byPhase["B"]) != 2 || len(byPhase["E"]) != 2 {
+		t.Errorf("wall spans B/E = %v/%v, want queued+run as B/E pairs", byPhase["B"], byPhase["E"])
+	}
+	if len(byPhase["i"]) != 1 || byPhase["i"][0] != "serve" {
+		t.Errorf("wall instants = %v, want [serve]", byPhase["i"])
+	}
+	// Timestamps are the offsets in microseconds.
+	for _, e := range wallEvents {
+		if e["name"] == "run" && e["ph"] == "E" {
+			if ts := e["ts"].(float64); ts != 10_000 {
+				t.Errorf("run end ts = %v µs, want 10000", ts)
+			}
+		}
+	}
+}
+
+// TestChromeTraceWallNilSpans: no spans means no extra process — the
+// bytes equal the plain export, preserving trace determinism.
+func TestChromeTraceWallNilSpans(t *testing.T) {
+	r := NewRecorder(0)
+	r.Track(0).Instant(7, CatSim, "a", 1)
+	cells := []CellTrace{{Name: "x", Events: r.Events()}}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceWall(&b, cells, "ignored", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("nil-span wall export differs from WriteChromeTrace")
+	}
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a horizontal bar chart as self-contained inline SVG
+// in the report house style — one row per label, value annotated at the
+// bar end. It is exported for the service dashboard, which reuses the
+// report chart idiom for live host telemetry (queue depths, per-tenant
+// throughput). Empty input renders an empty string.
+func BarChart(title, unit string, labels []string, values []float64) string {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return ""
+	}
+	var maxV float64
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	rowH, gap := 18.0, 6.0
+	labelW := 140.0
+	titleH := 18.0
+	h := marginT + titleH + float64(len(labels))*(rowH+gap) + marginB/2
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="0 0 %s %s" role="img" aria-label="%s">`,
+		coord(chartW), coord(h), coord(chartW), coord(h), escape(title))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%s" y="%s" font-size="12" fill="#333">%s</text>`,
+		coord(marginL), coord(marginT+4), escape(title))
+	b.WriteByte('\n')
+	barW := chartW - labelW - marginR - 70 // room for the value annotation
+	for i, v := range values {
+		y := marginT + titleH + float64(i)*(rowH+gap)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" %s>%s</text>`,
+			coord(labelW-8), coord(y+rowH/2+4), tickTextStyle, escape(labels[i]))
+		w := barW * v / maxV
+		if v > 0 && w < 0.5 {
+			w = 0.5 // keep tiny nonzero values visible
+		}
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`,
+			coord(labelW), coord(y), coord(w), coord(rowH), seriesColor(i))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" %s>%s%s</text>`,
+			coord(labelW+w+6), coord(y+rowH/2+4), tickTextStyle, axisLabel(v), escape(unit))
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

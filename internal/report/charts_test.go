@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	svg := BarChart("queue depth", "j", []string{"acme", "ze<br>ta"}, []float64{3, 0})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatalf("not a self-contained SVG: %q", svg)
+	}
+	for _, want := range []string{"queue depth", "acme", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<br>") {
+		t.Error("label not escaped")
+	}
+	if !strings.Contains(svg, "ze&lt;br&gt;ta") {
+		t.Error("escaped label missing")
+	}
+	if c := strings.Count(svg, "<rect"); c != 2 {
+		t.Errorf("bars = %d, want 2", c)
+	}
+}
+
+func TestBarChartEmptyAndMismatched(t *testing.T) {
+	if got := BarChart("t", "", nil, nil); got != "" {
+		t.Errorf("empty input rendered %q", got)
+	}
+	if got := BarChart("t", "", []string{"a"}, []float64{1, 2}); got != "" {
+		t.Errorf("mismatched input rendered %q", got)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	svg := BarChart("idle", "", []string{"a", "b"}, []float64{0, 0})
+	if !strings.Contains(svg, "<rect") {
+		t.Fatal("zero-valued chart missing bars")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("zero max produced NaN geometry")
+	}
+}

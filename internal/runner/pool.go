@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -33,6 +34,42 @@ type Pool struct {
 	rr     int        // round-robin cursor into jobs
 	closed bool
 	wg     sync.WaitGroup
+
+	// Occupancy counters, atomically readable without p.mu (Stats).
+	busy       atomic.Int64  // workers currently executing a cell
+	activeJobs atomic.Int64  // jobs submitted and not yet retired
+	queued     atomic.Int64  // cells submitted, not yet claimed
+	inflight   atomic.Int64  // cells claimed, not yet recorded
+	claimed    atomic.Uint64 // cells ever claimed (monotonic)
+	completed  atomic.Uint64 // cells ever finished (monotonic)
+}
+
+// PoolStats is a point-in-time occupancy snapshot, readable lock-free
+// while the pool runs (telemetry gauges, /v1/stats). Gauges may be
+// momentarily inconsistent with each other under concurrent claims;
+// the two *Cells totals are monotonic.
+type PoolStats struct {
+	Workers        int    `json:"workers"`
+	BusyWorkers    int    `json:"busyWorkers"`
+	ActiveJobs     int    `json:"activeJobs"`
+	QueuedCells    int    `json:"queuedCells"`
+	InFlightCells  int    `json:"inflightCells"`
+	ClaimedCells   uint64 `json:"claimedCells"`
+	CompletedCells uint64 `json:"completedCells"`
+}
+
+// Stats snapshots the pool's occupancy without taking the pool mutex,
+// so scrapes never contend with the claim path.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:        p.workers,
+		BusyWorkers:    int(p.busy.Load()),
+		ActiveJobs:     int(p.activeJobs.Load()),
+		QueuedCells:    int(p.queued.Load()),
+		InFlightCells:  int(p.inflight.Load()),
+		ClaimedCells:   p.claimed.Load(),
+		CompletedCells: p.completed.Load(),
+	}
 }
 
 // poolJob is one Run call's state, guarded by the pool mutex except
@@ -109,6 +146,8 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, opt Options) ([]CellResult
 		return nil, ErrPoolClosed
 	}
 	p.jobs = append(p.jobs, j)
+	p.activeJobs.Add(1)
+	p.queued.Add(int64(len(cells)))
 	p.mu.Unlock()
 	p.cond.Broadcast()
 
@@ -141,7 +180,8 @@ func (p *Pool) cancelLocked(j *poolJob, err error) {
 	}
 	j.canceled = true
 	j.err = err
-	j.next = len(j.cells) // nothing more to claim
+	p.queued.Add(int64(j.next - len(j.cells))) // unclaimed cells leave the queue
+	j.next = len(j.cells)                      // nothing more to claim
 	if j.inflight == 0 {
 		p.finishLocked(j)
 	}
@@ -154,6 +194,7 @@ func (p *Pool) finishLocked(j *poolJob) {
 		return
 	}
 	j.closed = true
+	p.activeJobs.Add(-1)
 	for i, other := range p.jobs {
 		if other == j {
 			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
@@ -177,6 +218,9 @@ func (p *Pool) claimLocked() (*poolJob, int, bool) {
 			i := j.next
 			j.next++
 			j.inflight++
+			p.queued.Add(-1)
+			p.inflight.Add(1)
+			p.claimed.Add(1)
 			p.rr = (at + 1) % n
 			return j, i, true
 		}
@@ -206,8 +250,11 @@ func (p *Pool) worker() {
 		}
 		p.mu.Unlock()
 
+		p.busy.Add(1)
 		res, err := RunCellCtx(j.ctx, j.cells[i], j.cache, j.ocfg)
 		res.Err = err
+		p.busy.Add(-1)
+		p.completed.Add(1)
 
 		// Progress fires before the in-flight count drops: the job can
 		// only reach its terminal state (and release Run) once every
@@ -224,6 +271,7 @@ func (p *Pool) worker() {
 		p.mu.Lock()
 		j.results[i] = res
 		j.inflight--
+		p.inflight.Add(-1)
 		if j.next >= len(j.cells) && j.inflight == 0 {
 			p.finishLocked(j)
 		}

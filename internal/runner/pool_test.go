@@ -164,6 +164,91 @@ func TestPoolCloseCancelsQueued(t *testing.T) {
 	}
 }
 
+// TestPoolStats: the lock-free snapshot settles to zero occupancy after
+// runs complete, with claimed == completed == cells executed, and stays
+// consistent when sampled while a job is live (run under -race).
+func TestPoolStats(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+
+	if s := p.Stats(); s.Workers != 3 || s.BusyWorkers != 0 || s.ActiveJobs != 0 ||
+		s.QueuedCells != 0 || s.InFlightCells != 0 || s.ClaimedCells != 0 || s.CompletedCells != 0 {
+		t.Fatalf("idle pool stats = %+v, want all-zero occupancy", s)
+	}
+
+	cells := smallCells(7)
+	stop := make(chan struct{})
+	go func() { // concurrent sampler: invariants must hold mid-run too
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Stats()
+			if s.BusyWorkers < 0 || s.BusyWorkers > s.Workers {
+				t.Errorf("busy workers %d outside [0,%d]", s.BusyWorkers, s.Workers)
+				return
+			}
+			if s.QueuedCells < 0 || s.InFlightCells < 0 {
+				t.Errorf("negative occupancy: %+v", s)
+				return
+			}
+		}
+	}()
+	if _, err := p.Run(context.Background(), cells, Options{Cache: NewProgCache()}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+
+	s := p.Stats()
+	if s.ActiveJobs != 0 || s.QueuedCells != 0 || s.InFlightCells != 0 || s.BusyWorkers != 0 {
+		t.Errorf("post-run stats = %+v, want zero occupancy", s)
+	}
+	want := uint64(len(cells))
+	if s.ClaimedCells != want || s.CompletedCells != want {
+		t.Errorf("claimed/completed = %d/%d, want %d/%d", s.ClaimedCells, s.CompletedCells, want, want)
+	}
+}
+
+// TestPoolStatsCancelDrainsQueue: cancelling a job returns its
+// unclaimed cells out of the queued gauge — occupancy settles to zero.
+func TestPoolStatsCancelDrainsQueue(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var cells []Cell
+	for i := 0; i < 48; i++ {
+		cells = append(cells, Cell{
+			Exp: "t", Kind: Whisper, Workload: "echo", Scheme: params.TT,
+			EWMicros: 40, Seed: int64(i + 1), Ops: 20_000,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := make(chan struct{})
+	opt := Options{Cache: NewProgCache(), Progress: func(done, total int, last Cell) {
+		if done == 1 {
+			close(fired)
+		}
+	}}
+	go func() {
+		<-fired
+		cancel()
+	}()
+	if _, err := p.Run(ctx, cells, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	// In-flight cells may still be retiring; wait for occupancy to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := p.Stats()
+		if s.QueuedCells == 0 && s.InFlightCells == 0 && s.ActiveJobs == 0 && s.BusyWorkers == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("occupancy never settled after cancel: %+v", p.Stats())
+}
+
 // TestPoolRoundRobinFairness: with one worker and two concurrent jobs,
 // completed cells alternate between the jobs — neither job head-of-line
 // blocks the other.

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// The live ops dashboard: GET /dashboard serves a self-contained HTML
+// shell (no external assets) whose only script re-fetches the
+// server-rendered /dashboard/panel fragment once a second. All chart
+// drawing stays in Go — the panel reuses internal/report's inline-SVG
+// helpers — so the browser side is a dumb poller and the page works
+// with scripts disabled (it just stops refreshing).
+
+const dashboardShell = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>terpd dashboard</title>
+<style>
+  body { font: 14px system-ui, sans-serif; margin: 24px; color: #222; }
+  h1 { font-size: 18px; }
+  h1 small { color: #888; font-weight: normal; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 12px 0; }
+  .tile { border: 1px solid #ddd; border-radius: 6px; padding: 8px 14px; min-width: 110px; }
+  .tile b { display: block; font-size: 20px; }
+  .tile span { color: #777; font-size: 12px; }
+  table { border-collapse: collapse; margin: 12px 0; }
+  th, td { border: 1px solid #ddd; padding: 4px 10px; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  thead th { background: #f5f5f5; }
+  .charts { display: flex; flex-wrap: wrap; gap: 16px; }
+</style>
+</head>
+<body>
+<h1>terpd <small>live host telemetry &mdash; polls /dashboard/panel every second; raw series at <a href="/metrics">/metrics</a>, JSON at <a href="/v1/stats">/v1/stats</a></small></h1>
+<main id="panel">loading&hellip;</main>
+<script>
+  const panel = document.getElementById('panel');
+  async function refresh() {
+    try {
+      const resp = await fetch('/dashboard/panel');
+      if (resp.ok) panel.innerHTML = await resp.text();
+    } catch (e) { /* server restarting; keep the last panel */ }
+  }
+  refresh();
+  setInterval(refresh, 1000);
+</script>
+</body>
+</html>
+`
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardShell) //nolint:errcheck
+}
+
+// handleDashboardPanel renders the dashboard body: stat tiles, queue
+// depth and per-tenant throughput bar charts, and the latency
+// percentile table — all from the live registry.
+func (s *Server) handleDashboardPanel(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	pool := s.sched.Pool().Stats()
+	_, queued, running, tenants := s.sched.Stats()
+
+	var b strings.Builder
+	b.WriteString(`<div class="tiles">`)
+	tile := func(label string, value string) {
+		fmt.Fprintf(&b, `<div class="tile"><b>%s</b><span>%s</span></div>`,
+			html.EscapeString(value), html.EscapeString(label))
+	}
+	tile("uptime", time.Since(s.started).Round(time.Second).String())
+	tile("workers busy", fmt.Sprintf("%d / %d", pool.BusyWorkers, pool.Workers))
+	tile("jobs running", fmt.Sprintf("%d", running))
+	tile("jobs queued", fmt.Sprintf("%d", queued))
+	tile("tenants", fmt.Sprintf("%d", tenants))
+	tile("cells done", fmt.Sprintf("%d", pool.CompletedCells))
+	tile("cells in flight", fmt.Sprintf("%d", pool.InFlightCells))
+	tile("stored results", fmt.Sprintf("%d", s.store.Len()))
+	tile("SSE subscribers", fmt.Sprintf("%d", m.SSE.Value()))
+	b.WriteString("</div>\n")
+
+	b.WriteString(`<div class="charts">`)
+	var depthLabels []string
+	var depthVals []float64
+	m.queueDepth.Each(func(labels []string, g *telemetry.Gauge) {
+		depthLabels = append(depthLabels, labels[0])
+		depthVals = append(depthVals, float64(g.Value()))
+	})
+	if svg := report.BarChart("queue depth by tenant (queued+running jobs)", "", depthLabels, depthVals); svg != "" {
+		b.WriteString("<div>" + svg + "</div>")
+	}
+	var cellLabels []string
+	var cellVals []float64
+	m.tenantCells.Each(func(labels []string, c *telemetry.Counter) {
+		cellLabels = append(cellLabels, labels[0])
+		cellVals = append(cellVals, float64(c.Value()))
+	})
+	if svg := report.BarChart("cells served by tenant (completed jobs)", "", cellLabels, cellVals); svg != "" {
+		b.WriteString("<div>" + svg + "</div>")
+	}
+	b.WriteString("</div>\n")
+
+	b.WriteString("<table><thead><tr><th>latency</th><th>n</th><th>p50</th><th>p90</th><th>p99</th></tr></thead><tbody>\n")
+	row := func(name string, h *telemetry.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(name), h.Count(),
+			fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.90)), fmtSeconds(h.Quantile(0.99)))
+	}
+	m.HTTP.Latency.Each(func(labels []string, h *telemetry.Histogram) {
+		row("http "+labels[0], h)
+	})
+	row("job queue wait", m.queueWait)
+	row("job run", m.runSeconds)
+	b.WriteString("</tbody></table>\n")
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	fmt.Fprint(w, b.String()) //nolint:errcheck
+}
+
+// fmtSeconds renders a latency in the most readable unit.
+func fmtSeconds(v float64) string {
+	d := time.Duration(v * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

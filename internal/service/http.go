@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	terp "repro"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
 )
 
 // TenantHeader names the request header that identifies the submitting
@@ -33,22 +36,33 @@ type Config struct {
 	// StoreCap bounds retained finished jobs (<= 0 selects
 	// DefaultStoreCap).
 	StoreCap int
+	// AccessLog, when set, receives one callback per completed request
+	// from the telemetry middleware — the same status/duration the
+	// request histograms observed.
+	AccessLog telemetry.AccessLog
 }
 
-// Server ties the scheduler, result store and HTTP API together.
+// Server ties the scheduler, result store, telemetry and HTTP API
+// together.
 type Server struct {
-	sched *Scheduler
-	store *Store
-	mux   *http.ServeMux
+	sched   *Scheduler
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+	handler http.Handler
+	started time.Time
 }
 
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
 	store := NewStore(cfg.StoreCap)
+	m := NewMetrics()
 	s := &Server{
-		sched: NewScheduler(cfg.Workers, cfg.QueueDepth, store),
-		store: store,
-		mux:   http.NewServeMux(),
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, store, m),
+		store:   store,
+		metrics: m,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -59,14 +73,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	s.mux.HandleFunc("GET /dashboard/panel", s.handleDashboardPanel)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// The middleware resolves the route label from the mux pattern (not
+	// the raw URL), so series cardinality is bounded by the route table.
+	s.handler = m.HTTP.Middleware(s.mux, func(r *http.Request) string {
+		_, pattern := s.mux.Handler(r)
+		return pattern
+	}, cfg.AccessLog)
 	return s
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API, instrumented by the telemetry
+// middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server's telemetry set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Scheduler exposes the scheduler (tests, stats).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
@@ -196,16 +223,34 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Write(report.HTML(rep)) //nolint:errcheck
 }
 
-// handleTrace serves the job's Perfetto-loadable Chrome trace (empty
-// when the spec ran without tracing).
+// handleTrace serves the job's Perfetto-loadable Chrome trace: the
+// deterministic sim-cycle tracks (empty when the spec ran without
+// tracing) plus one wall-clock track carrying the host-side job
+// lifecycle (queued, run, and the serve instant), so one view shows
+// simulated and real time side by side.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	_, grid, _ := s.finishedGrid(w, r)
+	j, grid, _ := s.finishedGrid(w, r)
 	if grid == nil {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", "attachment; filename=trace.json")
-	obs.WriteChromeTrace(w, grid.Traces()) //nolint:errcheck
+	obs.WriteChromeTraceWall(w, grid.Traces(), "wall-clock (host)", j.wallSpans()) //nolint:errcheck
+}
+
+// wallSpans builds the wall-clock lifecycle track, origin at submit.
+func (j *Job) wallSpans() []obs.WallSpan {
+	submitted, started, finished := j.WallTimes()
+	var spans []obs.WallSpan
+	if !started.IsZero() {
+		spans = append(spans, obs.WallSpan{Name: "queued", Start: 0, End: started.Sub(submitted)})
+		if !finished.IsZero() {
+			spans = append(spans, obs.WallSpan{Name: "run",
+				Start: started.Sub(submitted), End: finished.Sub(submitted)})
+		}
+	}
+	serve := time.Since(submitted)
+	return append(spans, obs.WallSpan{Name: "serve", Start: serve, End: serve})
 }
 
 // handleEvents streams job progress as server-sent events: one `data:`
@@ -222,6 +267,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
 		return
 	}
+	s.metrics.SSE.Inc()
+	defer s.metrics.SSE.Dec()
 	ch, cancel := j.Subscribe()
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -269,24 +316,39 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsBody is the GET /v1/stats response.
+// statsBody is the GET /v1/stats response: the scheduler counters and
+// occupancy as before, plus the pool's lock-free snapshot and the full
+// telemetry registry as JSON.
 type statsBody struct {
-	Counters Counters `json:"counters"`
-	Queued   int      `json:"queued"`
-	Running  int      `json:"running"`
-	Tenants  int      `json:"tenants"`
-	Stored   int      `json:"stored"`
-	Workers  int      `json:"workers"`
+	Counters  Counters            `json:"counters"`
+	Queued    int                 `json:"queued"`
+	Running   int                 `json:"running"`
+	Tenants   int                 `json:"tenants"`
+	Stored    int                 `json:"stored"`
+	Workers   int                 `json:"workers"`
+	UptimeSec float64             `json:"uptimeSec"`
+	Pool      runner.PoolStats    `json:"pool"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	counters, queued, running, tenants := s.sched.Stats()
 	writeJSON(w, http.StatusOK, statsBody{
-		Counters: counters,
-		Queued:   queued,
-		Running:  running,
-		Tenants:  tenants,
-		Stored:   s.store.Len(),
-		Workers:  s.sched.Pool().Workers(),
+		Counters:  counters,
+		Queued:    queued,
+		Running:   running,
+		Tenants:   tenants,
+		Stored:    s.store.Len(),
+		Workers:   s.sched.Pool().Workers(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Pool:      s.sched.Pool().Stats(),
+		Telemetry: s.metrics.Registry.Snapshot(),
 	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Registry.WritePrometheus(w) //nolint:errcheck // the connection owns delivery
 }

@@ -15,6 +15,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	terp "repro"
 )
@@ -79,6 +80,14 @@ type Job struct {
 	grid     *terp.Grid
 	gridJSON []byte
 	subs     []chan Event
+
+	// Wall-clock lifecycle instants (host telemetry + the wall-clock
+	// Perfetto track). submittedAt is immutable; startedAt/finishedAt
+	// are zero until the phase is reached. They never influence
+	// execution — grids stay byte-identical whatever the clock says.
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 }
 
 // subBuffer is each subscriber channel's capacity; a subscriber that
@@ -91,7 +100,16 @@ func newJob(id, tenant string, spec terp.ExperimentSpec, total int) *Job {
 	return &Job{
 		ID: id, Tenant: tenant, Spec: spec, Total: total,
 		ctx: ctx, cancel: cancel, state: StateQueued,
+		submittedAt: time.Now(),
 	}
+}
+
+// WallTimes returns the job's wall-clock lifecycle instants; started
+// and finished are zero for phases not yet reached.
+func (j *Job) WallTimes() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submittedAt, j.startedAt, j.finishedAt
 }
 
 // Status snapshots the job.
@@ -167,10 +185,14 @@ func (j *Job) broadcastLocked() {
 	}
 }
 
-// setState transitions the job and notifies subscribers.
+// setState transitions the job and notifies subscribers; entering
+// StateRunning stamps the wall-clock start.
 func (j *Job) setState(s State) {
 	j.mu.Lock()
 	j.state = s
+	if s == StateRunning && j.startedAt.IsZero() {
+		j.startedAt = time.Now()
+	}
 	j.broadcastLocked()
 	j.mu.Unlock()
 }
@@ -196,6 +218,7 @@ func (j *Job) finish(grid *terp.Grid, gridJSON []byte, state State, errMsg strin
 	j.mu.Lock()
 	j.grid, j.gridJSON = grid, gridJSON
 	j.state, j.errMsg = state, errMsg
+	j.finishedAt = time.Now()
 	if state == StateDone {
 		j.done = j.Total
 	}

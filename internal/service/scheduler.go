@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	terp "repro"
 	"repro/internal/runner"
@@ -40,6 +41,7 @@ type Counters struct {
 type Scheduler struct {
 	pool       *runner.Pool
 	queueDepth int
+	metrics    *Metrics
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -61,18 +63,37 @@ type tenant struct {
 // NewScheduler builds a scheduler over its own pool of the given size
 // (workers <= 0 selects GOMAXPROCS). queueDepth bounds each tenant's
 // queued+running jobs; depth <= 0 selects DefaultQueueDepth. Finished
-// jobs move into store.
-func NewScheduler(workers, queueDepth int, store *Store) *Scheduler {
+// jobs move into store. Host telemetry lands in m (nil builds a fresh
+// metric set), whose pool series are bound here.
+func NewScheduler(workers, queueDepth int, store *Store, m *Metrics) *Scheduler {
 	if queueDepth <= 0 {
 		queueDepth = DefaultQueueDepth
 	}
-	return &Scheduler{
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Scheduler{
 		pool:       runner.NewPool(workers),
 		queueDepth: queueDepth,
+		metrics:    m,
 		tenants:    make(map[string]*tenant),
 		active:     make(map[string]*Job),
 		store:      store,
 	}
+	m.bindPool(s.pool)
+	return s
+}
+
+// Metrics exposes the scheduler's telemetry set.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// depthLocked refreshes the tenant's queue-depth gauge; s.mu held.
+func (s *Scheduler) depthLocked(name string, t *tenant) {
+	depth := len(t.queue)
+	if t.running != nil {
+		depth++
+	}
+	s.metrics.queueDepth.With(name).Set(int64(depth))
 }
 
 // DefaultQueueDepth is the per-tenant admission bound when the
@@ -110,6 +131,7 @@ func (s *Scheduler) Submit(tenantName string, spec terp.ExperimentSpec) (*Job, e
 	}
 	if depth >= s.queueDepth {
 		s.counters.Rejected++
+		s.metrics.rejected.Inc()
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: tenant %q has %d job(s) pending (depth %d)",
 			ErrQueueFull, tenantName, depth, s.queueDepth)
@@ -119,7 +141,10 @@ func (s *Scheduler) Submit(tenantName string, spec terp.ExperimentSpec) (*Job, e
 	s.active[j.ID] = j
 	t.queue = append(t.queue, j)
 	s.counters.Submitted++
+	s.metrics.submitted.Inc()
+	s.metrics.queuedJobs.Inc()
 	s.startNextLocked(t)
+	s.depthLocked(tenantName, t)
 	s.mu.Unlock()
 	return j, nil
 }
@@ -134,6 +159,9 @@ func (s *Scheduler) startNextLocked(t *tenant) {
 	t.queue = t.queue[1:]
 	t.running = j
 	j.setState(StateRunning)
+	s.metrics.queuedJobs.Dec()
+	s.metrics.runningJobs.Inc()
+	s.metrics.queueWait.ObserveSince(j.submittedAt)
 	s.wg.Add(1)
 	go s.run(t, j)
 }
@@ -163,6 +191,11 @@ func (s *Scheduler) run(t *tenant, j *Job) {
 		state, errMsg, grid = StateFailed, err.Error(), nil
 	}
 	j.finish(grid, gridJSON, state, errMsg)
+	_, started, finished := j.WallTimes()
+	var runDur time.Duration
+	if !started.IsZero() {
+		runDur = finished.Sub(started)
+	}
 
 	s.mu.Lock()
 	switch state {
@@ -173,10 +206,13 @@ func (s *Scheduler) run(t *tenant, j *Job) {
 	default:
 		s.counters.Failed++
 	}
+	s.metrics.runningJobs.Dec()
+	s.metrics.jobFinished(j, state, runDur)
 	delete(s.active, j.ID)
 	s.store.Put(j)
 	t.running = nil
 	s.startNextLocked(t)
+	s.depthLocked(j.Tenant, t)
 	s.mu.Unlock()
 }
 
@@ -215,6 +251,9 @@ func (s *Scheduler) Cancel(id string) (*Job, error) {
 			t.queue = append(t.queue[:i], t.queue[i+1:]...)
 			delete(s.active, id)
 			s.counters.Canceled++
+			s.metrics.queuedJobs.Dec()
+			s.metrics.jobFinished(j, StateCanceled, 0)
+			s.depthLocked(j.Tenant, t)
 			s.mu.Unlock()
 			j.finish(nil, nil, StateCanceled, "canceled before start")
 			s.store.Put(j)
@@ -251,16 +290,19 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	var queued, running []*Job
-	for _, t := range s.tenants {
+	for name, t := range s.tenants {
 		queued = append(queued, t.queue...)
 		t.queue = nil
 		if t.running != nil {
 			running = append(running, t.running)
 		}
+		s.depthLocked(name, t)
 	}
 	for _, j := range queued {
 		delete(s.active, j.ID)
 		s.counters.Canceled++
+		s.metrics.queuedJobs.Dec()
+		s.metrics.jobFinished(j, StateCanceled, 0)
 	}
 	s.mu.Unlock()
 

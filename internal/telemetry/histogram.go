@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bounds in seconds: 250µs to 30s,
+// roughly ×2–2.5 per step. They cover both HTTP round-trips and whole
+// job runs.
+var DefBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket histogram of float64 samples with an
+// atomic Observe: one bucket increment, a CAS-loop float sum, and a
+// count. Bucket i counts samples v <= bounds[i] (Prometheus `le`
+// semantics); the final implicit bucket is +Inf.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be sorted")
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the owning bucket; past the end is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed wall time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf). Callers must
+// not mutate the slice.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative per-bucket counts (including +Inf
+// last) and the total. The snapshot is not atomic across buckets —
+// concurrent observes may straddle it — but each bucket is, and totals
+// are monotonic.
+func (h *Histogram) Cumulative() ([]uint64, uint64) {
+	cum := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+		cum[i] = total
+	}
+	return cum, total
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the owning bucket; samples beyond the last bound clamp to it.
+// With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total := h.Cumulative()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: the best point estimate is the last bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		prev := uint64(0)
+		if i > 0 {
+			prev = cum[i-1]
+		}
+		inBucket := float64(c - prev)
+		if inBucket == 0 {
+			return h.bounds[i]
+		}
+		frac := (rank - float64(prev)) / inBucket
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}

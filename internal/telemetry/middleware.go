@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the standard request-path metric set: per-route/
+// method/status counts, per-route latency histograms, and an in-flight
+// gauge. Route labels must be mux patterns, never raw URLs, so
+// cardinality stays bounded by the route table.
+type HTTPMetrics struct {
+	Requests *CounterVec   // labels: route, method, status
+	Latency  *HistogramVec // labels: route
+	InFlight *Gauge
+}
+
+// NewHTTPMetrics registers the request-path metric set under prefix.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec(prefix+"http_requests_total",
+			"Requests served, by route pattern, method and status code.",
+			"route", "method", "status"),
+		Latency: r.HistogramVec(prefix+"http_request_seconds",
+			"Wall-clock request latency by route pattern.", nil, "route"),
+		InFlight: r.Gauge(prefix+"http_inflight_requests",
+			"Requests currently being served."),
+	}
+}
+
+// UnmatchedRoute is the route label for requests no pattern matched, so
+// scans and typos share one series instead of minting new ones.
+const UnmatchedRoute = "unmatched"
+
+// AccessLog receives one completed request with exactly the values the
+// metrics observed — the structured log line and the latency histogram
+// always agree.
+type AccessLog func(r *http.Request, route string, status, bytes int, elapsed time.Duration)
+
+// Middleware instruments next: it resolves the route label via route
+// (typically mux.Handler; empty results become UnmatchedRoute), times
+// the request, feeds the counters and histogram, and finally calls log
+// (when non-nil) with the same measurements. The wrapped writer keeps
+// http.Flusher working so SSE streams flush through it.
+func (m *HTTPMetrics) Middleware(next http.Handler, route func(*http.Request) string, log AccessLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := ""
+		if route != nil {
+			rt = route(r)
+		}
+		if rt == "" {
+			rt = UnmatchedRoute
+		}
+		mw := &meteredWriter{ResponseWriter: w}
+		m.InFlight.Inc()
+		start := time.Now()
+		next.ServeHTTP(mw, r)
+		elapsed := time.Since(start)
+		m.InFlight.Dec()
+		status := mw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.Requests.With(rt, r.Method, strconv.Itoa(status)).Inc()
+		m.Latency.With(rt).Observe(elapsed.Seconds())
+		if log != nil {
+			log(r, rt, status, mw.bytes, elapsed)
+		}
+	})
+}
+
+// meteredWriter records the response status and byte count while
+// keeping Flush available for streaming handlers.
+type meteredWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *meteredWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *meteredWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *meteredWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController passthrough.
+func (w *meteredWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxRoute is the resolver the service uses: the mux pattern when one
+// matches, else empty (which the middleware maps to UnmatchedRoute).
+func muxRoute(mux *http.ServeMux) func(*http.Request) string {
+	return func(r *http.Request) string {
+		_, pattern := mux.Handler(r)
+		return pattern
+	}
+}
+
+// TestMiddlewareCardinalityBounded: 50 distinct job IDs and 50 garbage
+// paths mint exactly two route label values — the pattern and
+// "unmatched" — never per-URL series.
+func TestMiddlewareCardinalityBounded(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(m.Middleware(mux, muxRoute(mux), nil))
+	defer srv.Close()
+
+	for i := 0; i < 50; i++ {
+		for _, path := range []string{
+			fmt.Sprintf("/v1/jobs/job-%04d", i),
+			fmt.Sprintf("/no/such/route/%d", i),
+		} {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	routes := map[string]bool{}
+	m.Latency.Each(func(labels []string, h *Histogram) {
+		routes[labels[0]] = true
+		if h.Count() != 50 {
+			t.Errorf("route %q observed %d requests, want 50", labels[0], h.Count())
+		}
+	})
+	if len(routes) != 2 || !routes["GET /v1/jobs/{id}"] || !routes[UnmatchedRoute] {
+		t.Errorf("route label set = %v, want exactly {GET /v1/jobs/{id}, %s}", routes, UnmatchedRoute)
+	}
+	if got := m.Requests.With(UnmatchedRoute, "GET", "404").Value(); got != 50 {
+		t.Errorf("unmatched 404 count = %d, want 50", got)
+	}
+	if v := m.InFlight.Value(); v != 0 {
+		t.Errorf("in-flight gauge = %d after all requests done, want 0", v)
+	}
+}
+
+// TestMiddlewareAccessLogAgreement: the access-log callback receives
+// the same route, status, byte count and a duration consistent with
+// what the histogram observed.
+func TestMiddlewareAccessLogAgreement(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte("hello world")) //nolint:errcheck
+	})
+
+	var mu sync.Mutex
+	type logged struct {
+		route   string
+		status  int
+		bytes   int
+		elapsed time.Duration
+	}
+	var got []logged
+	log := func(r *http.Request, route string, status, bytes int, elapsed time.Duration) {
+		mu.Lock()
+		got = append(got, logged{route, status, bytes, elapsed})
+		mu.Unlock()
+	}
+	srv := httptest.NewServer(m.Middleware(mux, muxRoute(mux), log))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("access log called %d times, want 1", len(got))
+	}
+	l := got[0]
+	if l.route != "POST /v1/jobs" || l.status != http.StatusAccepted || l.bytes != len("hello world") {
+		t.Errorf("logged %+v, want route POST /v1/jobs status 202 bytes 11", l)
+	}
+	if l.elapsed <= 0 {
+		t.Errorf("logged elapsed = %v, want > 0", l.elapsed)
+	}
+	if c := m.Requests.With("POST /v1/jobs", "POST", "202").Value(); c != 1 {
+		t.Errorf("requests counter = %d, want 1", c)
+	}
+	if h := m.Latency.With("POST /v1/jobs"); h.Count() != 1 {
+		t.Errorf("latency histogram count = %d, want 1", h.Count())
+	}
+}
+
+// TestMeteredWriterFlusher: the metering wrapper forwards Flush so SSE
+// streaming keeps working behind the middleware.
+func TestMeteredWriterFlusher(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t_")
+	flushed := false
+	h := m.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("wrapped writer does not implement http.Flusher")
+			return
+		}
+		fmt.Fprint(w, "event: ping\n\n")
+		f.Flush()
+		flushed = true
+	}), nil, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/abc/events", nil))
+	if !flushed {
+		t.Fatal("handler never flushed")
+	}
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	// nil route resolver: everything lands on UnmatchedRoute.
+	if c := m.Requests.With(UnmatchedRoute, "GET", "200").Value(); c != 1 {
+		t.Errorf("unmatched counter = %d, want 1", c)
+	}
+}

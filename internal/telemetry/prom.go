@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label values, histograms as cumulative _bucket/_sum/_count series.
+// Func-backed metrics are sampled here.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, key := range f.sortedKeys() {
+			f.mu.RLock()
+			m := f.children[key]
+			f.mu.RUnlock()
+			if err := writeChild(w, f, splitKey(key), m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, values []string, m any) error {
+	switch m := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, ""), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, values, ""), m.Value())
+		return err
+	case *Histogram:
+		cum, total := m.Cumulative()
+		for i, bound := range m.Bounds() {
+			le := formatFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(f.labels, values, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f.labels, values, "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, labelString(f.labels, values, ""), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.name, labelString(f.labels, values, ""), total)
+		return err
+	}
+	return fmt.Errorf("telemetry: unknown metric type %T", m)
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Empty label sets render as "".
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest representation that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Snapshot is the registry's state as a JSON-friendly document (the
+// telemetry section of /v1/stats). Families and children are sorted, so
+// the *structure* is deterministic even though the wall-clock values
+// are not.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family's state.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Kind    string           `json:"kind"`
+	Help    string           `json:"help,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one child series. Counters and gauges fill Value;
+// histograms fill Count/Sum and the latency quantile estimates.
+type MetricSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  uint64            `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	P50    float64           `json:"p50,omitempty"`
+	P90    float64           `json:"p90,omitempty"`
+	P99    float64           `json:"p99,omitempty"`
+}
+
+// Snapshot captures every family (sampling func-backed metrics).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		if f.fn != nil {
+			fs.Metrics = append(fs.Metrics, MetricSnapshot{Value: f.fn()})
+		} else {
+			for _, key := range f.sortedKeys() {
+				f.mu.RLock()
+				m := f.children[key]
+				f.mu.RUnlock()
+				ms := MetricSnapshot{Labels: labelMap(f.labels, splitKey(key))}
+				switch m := m.(type) {
+				case *Counter:
+					ms.Value = float64(m.Value())
+				case *Gauge:
+					ms.Value = float64(m.Value())
+				case *Histogram:
+					ms.Count = m.Count()
+					ms.Sum = m.Sum()
+					ms.P50 = m.Quantile(0.50)
+					ms.P90 = m.Quantile(0.90)
+					ms.P99 = m.Quantile(0.99)
+				}
+				fs.Metrics = append(fs.Metrics, ms)
+			}
+		}
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+func labelMap(names, values []string) map[string]string {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = values[i]
+	}
+	return m
+}

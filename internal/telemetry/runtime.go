@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats samples so one scrape touching
+// several gauges pays for a single stop-the-world read.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memReader) read() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return &m.stat
+}
+
+// RegisterRuntime registers Go runtime gauges (goroutines, heap, GC)
+// under the given prefix, sampled at scrape time.
+func RegisterRuntime(r *Registry, prefix string) {
+	mr := &memReader{}
+	r.GaugeFunc(prefix+"go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapAlloc) })
+	r.GaugeFunc(prefix+"go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(mr.read().HeapObjects) })
+	r.GaugeFunc(prefix+"go_sys_bytes", "Total bytes obtained from the OS.",
+		func() float64 { return float64(mr.read().Sys) })
+	r.CounterFunc(prefix+"go_gc_runs_total", "Completed GC cycles.",
+		func() float64 { return float64(mr.read().NumGC) })
+	r.CounterFunc(prefix+"go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(mr.read().PauseTotalNs) / 1e9 })
+}
