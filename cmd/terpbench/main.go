@@ -6,6 +6,7 @@
 //	terpbench -exp table3 -ops 20000        # one experiment, smaller run
 //	terpbench -exp fig11 -scale 2           # bigger SPEC kernels
 //	terpbench -exp all -json results.json   # structured grids for trending
+//	terpbench -exp table3 -ledger runs.jsonl # append run records to the ledger
 //	terpbench -exp table3 -trace out.json   # Perfetto/Chrome trace export
 //	terpbench -exp table3 -metrics          # per-cell counter tables
 //	terpbench -exp table3 -report run.html  # self-contained HTML run report
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	terp "repro"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -68,6 +70,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	specPath := flag.String("spec", "", "run the versioned spec JSON document in this file (replaces -exp/-ops/-scale/-seed)")
+	ledgerPath := flag.String("ledger", "", "append one run record per experiment to this JSONL ledger (see terpreport -trend)")
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -142,6 +145,14 @@ func main() {
 		}
 	}
 
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		var err error
+		led, err = ledger.Open(*ledgerPath, ledger.Options{})
+		check(err)
+		defer led.Close()
+	}
+
 	var grids []*terp.Grid
 	var traces []obs.CellTrace
 	for _, spec := range specs {
@@ -166,14 +177,26 @@ func main() {
 				}
 			}
 		}
+		runStart := time.Now()
 		g, err := terp.Run(spec)
 		check(err)
+		runWall := time.Since(runStart)
 		fmt.Println(g.Format())
 		if *metrics && g.Obs != nil {
 			fmt.Println(formatObs(g))
 		}
 		grids = append(grids, g)
 		traces = append(traces, g.Traces()...)
+		if led != nil {
+			// Observe-only: the record is derived from the finished grid
+			// and never feeds back into the run.
+			rec := ledger.FromGrid("terpbench", spec, g)
+			rec.WallMS = runWall.Seconds() * 1e3
+			check(led.Append(rec))
+		}
+	}
+	if led != nil {
+		fmt.Fprintf(os.Stderr, "terpbench: appended %d run record(s) to %s\n", len(grids), *ledgerPath)
 	}
 
 	if *jsonPath != "" {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	terp "repro"
+	"repro/internal/ledger"
 	"repro/internal/service"
 	"repro/internal/stats"
 )
@@ -121,6 +122,21 @@ func main() {
 
 	ok := failed == 0 && lg.serverErrs.Load() == 0
 	if *out != "" {
+		var jobSums []jobSummary
+		for t := range outcomes {
+			for i := range outcomes[t] {
+				o := &outcomes[t][i]
+				if o.status.ID == "" {
+					continue // never accepted
+				}
+				jobSums = append(jobSums, jobSummary{
+					Tenant: o.tenant, JobID: o.status.ID,
+					Experiment: o.spec.Name,
+					SpecHash:   ledger.SpecHash(o.spec),
+					State:      string(o.status.State),
+				})
+			}
+		}
 		doc := summaryDoc{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 			Addr:        *addr, Tenants: *tenants, JobsPerTenant: *jobs,
@@ -129,6 +145,7 @@ func main() {
 			Cells: cells, CellsPerSec: rate,
 			Retries429: lg.retries.Load(), ServerErrs5xx: lg.serverErrs.Load(),
 			Latencies: lg.lat.summaries(),
+			Jobs:      jobSums,
 		}
 		if err := writeSummary(*out, &doc); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: -out:", err)
@@ -267,6 +284,19 @@ type summaryDoc struct {
 	Retries429    int          `json:"retries429"`
 	ServerErrs5xx int          `json:"serverErrs5xx"`
 	Latencies     []latSummary `json:"latencies"`
+	// Jobs lists every completed job with its spec identity hash —
+	// the same hash terpd writes into ledger records, so load-test
+	// summaries join against /v1/history by (specHash, jobId).
+	Jobs []jobSummary `json:"jobs"`
+}
+
+// jobSummary identifies one completed job for ledger joins.
+type jobSummary struct {
+	Tenant     string `json:"tenant"`
+	JobID      string `json:"jobId"`
+	Experiment string `json:"experiment"`
+	SpecHash   string `json:"specHash"`
+	State      string `json:"state"`
 }
 
 func writeSummary(path string, doc *summaryDoc) error {
@@ -418,8 +448,10 @@ func (l *loadgen) getStatus(id string) (service.Status, int, error) {
 	return st, resp.StatusCode, nil
 }
 
-// verifyGrid fetches the served grid and byte-compares it against an
-// in-process offline run of the identical spec.
+// verifyGrid fetches the served grid, byte-compares it against an
+// in-process offline run of the identical spec, then re-fetches with
+// If-None-Match to confirm the server's content-hash caching answers
+// 304 with no body.
 func (l *loadgen) verifyGrid(o *outcome) error {
 	resp, err := l.client.Get(l.base + "/v1/jobs/" + o.status.ID + "/grid")
 	if err != nil {
@@ -444,6 +476,25 @@ func (l *loadgen) verifyGrid(o *outcome) error {
 	if !bytes.Equal(served, offline) {
 		return fmt.Errorf("grid %s differs from offline run (%d vs %d bytes)",
 			o.status.ID, len(served), len(offline))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		return fmt.Errorf("grid %s response carries no ETag", o.status.ID)
+	}
+	req, err := http.NewRequest(http.MethodGet, l.base+"/v1/jobs/"+o.status.ID+"/grid", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", etag)
+	again, err := l.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer again.Body.Close()
+	body, _ := io.ReadAll(again.Body)
+	if again.StatusCode != http.StatusNotModified || len(body) != 0 {
+		return fmt.Errorf("conditional re-fetch of grid %s: HTTP %d with %d body byte(s), want 304 empty",
+			o.status.ID, again.StatusCode, len(body))
 	}
 	return nil
 }

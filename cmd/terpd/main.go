@@ -9,6 +9,7 @@
 //	terpd -queue-depth 4           # admit at most 4 jobs per tenant (429 beyond)
 //	terpd -results 64              # retain the 64 most recent finished jobs
 //	terpd -ops-addr 127.0.0.1:8322 # opt-in ops listener with /debug/pprof/
+//	terpd -ledger runs.jsonl       # append a run record per completed job
 //
 // API (specs and grids use the versioned wire format of `terpbench
 // -spec`/-json — see terp.WireVersion):
@@ -26,6 +27,13 @@
 //	                             wall-clock job-lifecycle track
 //	GET    /v1/jobs/{id}/events  live progress as server-sent events
 //	GET    /v1/experiments     experiment names + wire version
+//	GET    /v1/history         run-ledger records (?exp=, ?spec=, ?limit=;
+//	                           404 without -ledger)
+//	GET    /v1/history/trend   trend analysis over the ledger's per-metric
+//	                           series (?window=, ?min=, ?metric=)
+//	GET    /v1/compare         deterministic diff of two finished jobs
+//	                           (?a=<job>&b=<job>, a is the baseline;
+//	                           ?format=html for the panel)
 //	GET    /v1/stats           scheduler counters, pool occupancy and the
 //	                           telemetry registry as JSON
 //	GET    /metrics            Prometheus text exposition (host telemetry)
@@ -52,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/service"
 )
 
@@ -61,13 +70,28 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "shared simulation worker-pool size")
 	queueDepth := flag.Int("queue-depth", service.DefaultQueueDepth, "max queued+running jobs per tenant before 429")
 	storeCap := flag.Int("results", service.DefaultStoreCap, "finished jobs retained in the LRU result store")
+	ledgerPath := flag.String("ledger", "", "append-only JSONL run ledger; empty disables durable history")
+	ledgerMaxMB := flag.Int("ledger-max-mb", 64, "rotate the ledger past this size (0 disables rotation)")
 	flag.Parse()
+
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		var err error
+		led, err = ledger.Open(*ledgerPath, ledger.Options{MaxBytes: int64(*ledgerMaxMB) << 20})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "terpd:", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		fmt.Fprintf(os.Stderr, "terpd: run ledger at %s\n", *ledgerPath)
+	}
 
 	srv := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		StoreCap:   *storeCap,
 		AccessLog:  accessLog,
+		Ledger:     led,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

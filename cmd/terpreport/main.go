@@ -9,6 +9,8 @@
 //	terpreport -exp table3 -baseline BENCH_obs.json \
 //	           -verdict verdict.json                 # CI regression gate
 //	terpreport -in grids.json -html run.html         # from saved grids
+//	terpreport -exp table3 -ledger runs.jsonl        # run + append a ledger record
+//	terpreport -trend -ledger runs.jsonl             # gate on the run history
 //
 // Reports derive only from simulated cycles — the same spec produces
 // byte-identical HTML, text and verdict output at every -parallel level.
@@ -28,6 +30,16 @@
 // BENCH_perf.json baseline), and with -baseline compares against a prior
 // conversion. Wall-clock metrics are informational unless -gate-perf is
 // set, because ns/op depends on the machine the benchmarks ran on.
+//
+// -trend switches to history mode: instead of running anything, it
+// reads the JSONL run ledger named by -ledger (appended by terpd,
+// `terpbench -ledger` or `terpreport -ledger`), analyzes each
+// per-metric series keyed by spec hash, and gates on the trailing
+// -trend-window runs against the prior history: exit 0 when the gated
+// sim-cycle series hold, 3 on a regression, with -verdict writing the
+// machine-readable trend document. Series shorter than -trend-min
+// report "insufficient" and never gate. -ledger-compact N rewrites the
+// ledger keeping the most recent N records per spec identity.
 package main
 
 import (
@@ -37,8 +49,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	terp "repro"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -58,7 +72,33 @@ func main() {
 	gobench := flag.String("gobench", "", "read `go test -bench` text output from this file instead of running experiments")
 	gobenchOut := flag.String("gobench-out", "", "write the converted go-bench grid JSON to this file (requires -gobench)")
 	gatePerf := flag.Bool("gate-perf", false, "gate the verdict on wall-clock perf/* metrics too (use on controlled runner hardware only)")
+	ledgerPath := flag.String("ledger", "", "JSONL run ledger: appended after fresh runs, read by -trend")
+	trend := flag.Bool("trend", false, "analyze the -ledger run history instead of running; exit 3 on a regressing trend")
+	trendWindow := flag.Int("trend-window", 3, "trailing runs compared against the prior history (with -trend)")
+	trendMin := flag.Int("trend-min", 5, "minimum runs per series before the trend gate engages (with -trend)")
+	ledgerCompact := flag.Int("ledger-compact", 0, "compact the -ledger keeping this many records per spec identity, then exit")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if (*trend || *ledgerCompact > 0) && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "terpreport: -trend and -ledger-compact require -ledger")
+		os.Exit(2)
+	}
+	if *ledgerCompact > 0 {
+		led, err := ledger.Open(*ledgerPath, ledger.Options{})
+		check(err)
+		check(led.Compact(*ledgerCompact))
+		check(led.Close())
+		fmt.Fprintf(os.Stderr, "terpreport: compacted %s to the most recent %d record(s) per spec\n",
+			*ledgerPath, *ledgerCompact)
+		return
+	}
+	if *trend {
+		os.Exit(runTrend(*ledgerPath, *verdictPath, trendFilter(explicit, *exp), report.TrendOpts{
+			Window: *trendWindow, MinRuns: *trendMin, TolerancePct: *tolerance,
+		}))
+	}
 
 	if *verdictPath != "" && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "terpreport: -verdict requires -baseline")
@@ -74,8 +114,26 @@ func main() {
 		os.Exit(runGoBench(*gobench, *gobenchOut, *baseline, *verdictPath, ropts))
 	}
 
-	grids, err := loadGrids(*in, *exp, terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}, *parallel)
+	grids, runs, err := loadGrids(*in, *exp, terp.ExpOpts{Ops: *ops, Scale: *scale, Seed: *seed}, *parallel)
 	check(err)
+
+	if *ledgerPath != "" {
+		// Records only for fresh runs: -in documents carry no spec (and
+		// no wall clock), so there is nothing honest to append.
+		if len(runs) == 0 {
+			fmt.Fprintln(os.Stderr, "terpreport: -ledger ignored with -in (no fresh run to record)")
+		} else {
+			led, err := ledger.Open(*ledgerPath, ledger.Options{})
+			check(err)
+			for i, g := range grids {
+				rec := ledger.FromGrid("terpreport", runs[i].spec, g)
+				rec.WallMS = runs[i].wallMS
+				check(led.Append(rec))
+			}
+			check(led.Close())
+			fmt.Fprintf(os.Stderr, "terpreport: appended %d run record(s) to %s\n", len(grids), *ledgerPath)
+		}
+	}
 
 	rep := report.Build(terp.ReportInput(*title, grids), report.Options{})
 
@@ -152,21 +210,29 @@ func runGoBench(inPath, outPath, baselinePath, verdictPath string, ropts report.
 	return reg.ExitCode()
 }
 
+// runMeta describes one fresh run (parallel to the grids slice; empty
+// for -in documents).
+type runMeta struct {
+	spec   terp.ExperimentSpec
+	wallMS float64
+}
+
 // loadGrids either parses a saved grids document or runs the requested
-// experiments with tracing and metrics on.
-func loadGrids(inPath, exp string, opts terp.ExpOpts, parallel int) ([]*terp.Grid, error) {
+// experiments with tracing and metrics on. Fresh runs also return
+// their specs and wall-clock durations for the ledger.
+func loadGrids(inPath, exp string, opts terp.ExpOpts, parallel int) ([]*terp.Grid, []runMeta, error) {
 	if inPath != "" {
 		buf, err := os.ReadFile(inPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// ParseGrids enforces the wire version, so a document from an
 		// incompatible build fails loudly instead of mis-reporting.
 		grids, err := terp.ParseGrids(buf)
 		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", inPath, err)
+			return nil, nil, fmt.Errorf("parsing %s: %w", inPath, err)
 		}
-		return grids, nil
+		return grids, nil, nil
 	}
 
 	names := strings.Split(exp, ",")
@@ -174,20 +240,64 @@ func loadGrids(inPath, exp string, opts terp.ExpOpts, parallel int) ([]*terp.Gri
 		names = terp.Experiments()
 	}
 	var grids []*terp.Grid
+	var runs []runMeta
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		g, err := terp.Run(terp.ExperimentSpec{
+		spec := terp.ExperimentSpec{
 			Name:     name,
 			Opts:     opts,
 			Parallel: parallel,
 			Obs:      obs.Config{Trace: true, Metrics: true},
-		})
+		}
+		start := time.Now()
+		g, err := terp.Run(spec)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		grids = append(grids, g)
+		runs = append(runs, runMeta{spec: spec, wallMS: time.Since(start).Seconds() * 1e3})
 	}
-	return grids, nil
+	return grids, runs, nil
+}
+
+// trendFilter restricts trend mode to the -exp experiments only when
+// the flag was given explicitly; the default runs over the whole
+// ledger.
+func trendFilter(explicit map[string]bool, exp string) func(string) bool {
+	if !explicit["exp"] || exp == "all" {
+		return func(string) bool { return true }
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(exp, ",") {
+		names[strings.TrimSpace(n)] = true
+	}
+	return func(name string) bool { return names[name] }
+}
+
+// runTrend handles history mode: read the ledger, analyze each series,
+// print the table, optionally write the verdict document. Returns the
+// process exit code (0 pass/improved, 3 regressed).
+func runTrend(ledgerPath, verdictPath string, keep func(string) bool, opt report.TrendOpts) int {
+	records, skipped, err := ledger.Read(ledgerPath)
+	check(err)
+	var kept []ledger.Record
+	for _, r := range records {
+		if keep(r.Experiment) {
+			kept = append(kept, r)
+		}
+	}
+	tr := report.Trend(ledger.Series(kept), opt)
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "terpreport: skipped %d unreadable ledger line(s)\n", skipped)
+	}
+	if verdictPath != "" {
+		buf, err := json.MarshalIndent(tr, "", "  ")
+		check(err)
+		check(os.WriteFile(verdictPath, append(buf, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "terpreport: wrote trend verdict to %s\n", verdictPath)
+	}
+	fmt.Print(tr.Text())
+	return tr.ExitCode()
 }
 
 func check(err error) {

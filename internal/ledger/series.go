@@ -1,0 +1,72 @@
+package ledger
+
+import (
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Series converts a run history into the report layer's trend input:
+// one series per (spec hash, metric), points in append order. Records
+// with different spec hashes never share a series — a spec change is
+// a new trajectory, not a step in an old one.
+func Series(records []Record) []report.TrendSeries {
+	type group struct {
+		runs   int
+		series map[string]*report.TrendSeries
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, rec := range records {
+		g := groups[rec.SpecHash]
+		if g == nil {
+			g = &group{series: map[string]*report.TrendSeries{}}
+			groups[rec.SpecHash] = g
+			order = append(order, rec.SpecHash)
+		}
+		add := func(metric string, v float64) {
+			s := g.series[metric]
+			if s == nil {
+				s = &report.TrendSeries{
+					Experiment: rec.Experiment,
+					SpecHash:   rec.SpecHash,
+					Metric:     metric,
+				}
+				g.series[metric] = s
+			}
+			s.Points = append(s.Points, report.TrendPoint{Run: g.runs, Value: v})
+		}
+		for k, v := range rec.Metrics {
+			add(k, float64(v))
+		}
+		for k, v := range rec.Values {
+			add(k, v)
+		}
+		if rec.WallMS > 0 {
+			add("wall/run_ms", rec.WallMS)
+		}
+		g.runs++
+	}
+	var out []report.TrendSeries
+	for _, hash := range order {
+		g := groups[hash]
+		names := make([]string, 0, len(g.series))
+		for name := range g.series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, *g.series[name])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		if out[i].SpecHash != out[j].SpecHash {
+			return out[i].SpecHash < out[j].SpecHash
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

@@ -107,6 +107,8 @@ func (s *Server) handleDashboardPanel(w http.ResponseWriter, r *http.Request) {
 	}
 	b.WriteString("</div>\n")
 
+	s.writeHistorySection(&b)
+
 	b.WriteString("<table><thead><tr><th>latency</th><th>n</th><th>p50</th><th>p90</th><th>p99</th></tr></thead><tbody>\n")
 	row := func(name string, h *telemetry.Histogram) {
 		if h.Count() == 0 {
@@ -126,6 +128,73 @@ func (s *Server) handleDashboardPanel(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Header().Set("Cache-Control", "no-cache")
 	fmt.Fprint(w, b.String()) //nolint:errcheck
+}
+
+// dashHistoryRuns bounds the records read for the dashboard's history
+// section (most recent) and the points per sparkline.
+const (
+	dashHistoryRuns   = 200
+	dashSparkPoints   = 32
+	dashSparkMaxLines = 6
+)
+
+// writeHistorySection renders the ledger-backed "history" block: a
+// record-count line plus one sparkline per spec identity tracing its
+// total sim cycles (falling back to wall-clock when the runs carried
+// no metrics). Absent entirely when the server runs without a ledger.
+func (s *Server) writeHistorySection(b *strings.Builder) {
+	if s.ledger == nil {
+		return
+	}
+	recs, _, err := s.ledger.Records()
+	if err != nil || len(recs) == 0 {
+		return
+	}
+	if len(recs) > dashHistoryRuns {
+		recs = recs[len(recs)-dashHistoryRuns:]
+	}
+	type line struct {
+		label  string
+		values []float64
+	}
+	var lines []line
+	index := map[string]int{}
+	for _, rec := range recs {
+		key := rec.Experiment + " " + rec.SpecHash
+		i, ok := index[key]
+		if !ok {
+			i = len(lines)
+			index[key] = i
+			lines = append(lines, line{label: key})
+		}
+		var cycles float64
+		for name, v := range rec.Metrics {
+			if strings.HasPrefix(name, "sim/cycles/") {
+				cycles += float64(v)
+			}
+		}
+		if cycles == 0 {
+			cycles = rec.WallMS
+		}
+		lines[i].values = append(lines[i].values, cycles)
+	}
+	fmt.Fprintf(b, "<h2 style=\"font-size:15px\">history <small style=\"color:#888;font-weight:normal\">%d ledger record(s); series at <a href=\"/v1/history\">/v1/history</a>, trends at <a href=\"/v1/history/trend\">/v1/history/trend</a></small></h2>\n", len(recs))
+	b.WriteString("<table><thead><tr><th>spec</th><th>runs</th><th>sim cycles (last runs)</th><th>last</th></tr></thead><tbody>\n")
+	shown := 0
+	for _, l := range lines {
+		if shown == dashSparkMaxLines {
+			fmt.Fprintf(b, "<tr><td colspan=\"4\">&hellip; %d more spec identities</td></tr>\n", len(lines)-shown)
+			break
+		}
+		shown++
+		vals := l.values
+		if len(vals) > dashSparkPoints {
+			vals = vals[len(vals)-dashSparkPoints:]
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%.4g</td></tr>\n",
+			html.EscapeString(l.label), len(l.values), report.Sparkline(vals), vals[len(vals)-1])
+	}
+	b.WriteString("</tbody></table>\n")
 }
 
 // fmtSeconds renders a latency in the most readable unit.

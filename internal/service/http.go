@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	terp "repro"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -40,6 +42,11 @@ type Config struct {
 	// from the telemetry middleware — the same status/duration the
 	// request histograms observed.
 	AccessLog telemetry.AccessLog
+	// Ledger, when set, receives one run record per completed job and
+	// backs the /v1/history, /v1/history/trend and dashboard history
+	// surfaces. Nil runs the server without durable history (the
+	// endpoints answer 404).
+	Ledger *ledger.Ledger
 }
 
 // Server ties the scheduler, result store, telemetry and HTTP API
@@ -48,6 +55,7 @@ type Server struct {
 	sched   *Scheduler
 	store   *Store
 	metrics *Metrics
+	ledger  *ledger.Ledger
 	mux     *http.ServeMux
 	handler http.Handler
 	started time.Time
@@ -58,9 +66,10 @@ func New(cfg Config) *Server {
 	store := NewStore(cfg.StoreCap)
 	m := NewMetrics()
 	s := &Server{
-		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, store, m),
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, store, m, cfg.Ledger),
 		store:   store,
 		metrics: m,
+		ledger:  cfg.Ledger,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -72,6 +81,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/history/trend", s.handleHistoryTrend)
+	s.mux.HandleFunc("GET /v1/compare", s.handleCompare)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
@@ -199,14 +211,41 @@ func (s *Server) finishedGrid(w http.ResponseWriter, r *http.Request) (*Job, *te
 }
 
 // handleGrid serves the finished grid's canonical JSON — byte-identical
-// to `terp.Run(spec).JSON()` offline.
+// to `terp.Run(spec).JSON()` offline. Finished grids are immutable, so
+// the response carries a content-hash ETag and an immutable
+// Cache-Control; a matching If-None-Match answers 304 with no body,
+// which is what lets history/compare pollers and loadgen -verify
+// re-fetches skip the (potentially large) grid payload.
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
-	_, _, gridJSON := s.finishedGrid(w, r)
+	j, _, gridJSON := s.finishedGrid(w, r)
 	if gridJSON == nil {
+		return
+	}
+	etag := j.GridETag()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(gridJSON) //nolint:errcheck
+}
+
+// etagMatch reports whether an If-None-Match header matches the tag
+// (comma-separated candidates, weak validators compared by content,
+// "*" matches anything).
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // handleReport serves the self-contained HTML run report built from the

@@ -14,6 +14,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"sync"
 	"time"
 
@@ -79,6 +81,7 @@ type Job struct {
 	errMsg   string
 	grid     *terp.Grid
 	gridJSON []byte
+	etag     string // lazy content hash of gridJSON
 	subs     []chan Event
 
 	// Wall-clock lifecycle instants (host telemetry + the wall-clock
@@ -135,6 +138,20 @@ func (j *Job) Grid() (*terp.Grid, []byte) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.grid, j.gridJSON
+}
+
+// GridETag returns the strong entity tag of the finished grid's
+// canonical JSON — a quoted content hash, so equal grids share a tag
+// across jobs and server restarts. Empty until the job reaches
+// StateDone.
+func (j *Job) GridETag() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.etag == "" && len(j.gridJSON) > 0 {
+		sum := sha256.Sum256(j.gridJSON)
+		j.etag = `"` + hex.EncodeToString(sum[:16]) + `"`
+	}
+	return j.etag
 }
 
 // Subscribe attaches a progress listener: the returned channel first

@@ -29,6 +29,9 @@ type Metrics struct {
 	tenantCells *telemetry.CounterVec // label: tenant — cells of completed jobs
 	queueWait   *telemetry.Histogram
 	runSeconds  *telemetry.Histogram
+
+	ledgerRecords *telemetry.Counter
+	ledgerErrors  *telemetry.Counter
 }
 
 // NewMetrics builds the service metric set on a fresh registry and
@@ -60,6 +63,10 @@ func NewMetrics() *Metrics {
 			"Wall-clock submit-to-start wait.", nil),
 		runSeconds: r.Histogram(MetricPrefix+"job_run_seconds",
 			"Wall-clock start-to-finish run duration.", nil),
+		ledgerRecords: r.Counter(MetricPrefix+"ledger_records_total",
+			"Run records appended to the ledger."),
+		ledgerErrors: r.Counter(MetricPrefix+"ledger_errors_total",
+			"Ledger appends that failed (the job itself is unaffected)."),
 	}
 	telemetry.RegisterRuntime(r, MetricPrefix)
 	return m

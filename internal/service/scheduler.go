@@ -7,6 +7,7 @@ import (
 	"time"
 
 	terp "repro"
+	"repro/internal/ledger"
 	"repro/internal/runner"
 )
 
@@ -42,6 +43,7 @@ type Scheduler struct {
 	pool       *runner.Pool
 	queueDepth int
 	metrics    *Metrics
+	led        *ledger.Ledger // run-record sink; nil disables
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -64,8 +66,10 @@ type tenant struct {
 // (workers <= 0 selects GOMAXPROCS). queueDepth bounds each tenant's
 // queued+running jobs; depth <= 0 selects DefaultQueueDepth. Finished
 // jobs move into store. Host telemetry lands in m (nil builds a fresh
-// metric set), whose pool series are bound here.
-func NewScheduler(workers, queueDepth int, store *Store, m *Metrics) *Scheduler {
+// metric set), whose pool series are bound here. led, when non-nil,
+// receives one run record per job that reaches StateDone — an
+// observe-only sink that never influences scheduling or results.
+func NewScheduler(workers, queueDepth int, store *Store, m *Metrics, led *ledger.Ledger) *Scheduler {
 	if queueDepth <= 0 {
 		queueDepth = DefaultQueueDepth
 	}
@@ -76,6 +80,7 @@ func NewScheduler(workers, queueDepth int, store *Store, m *Metrics) *Scheduler 
 		pool:       runner.NewPool(workers),
 		queueDepth: queueDepth,
 		metrics:    m,
+		led:        led,
 		tenants:    make(map[string]*tenant),
 		active:     make(map[string]*Job),
 		store:      store,
@@ -214,6 +219,20 @@ func (s *Scheduler) run(t *tenant, j *Job) {
 	s.startNextLocked(t)
 	s.depthLocked(j.Tenant, t)
 	s.mu.Unlock()
+
+	// Ledger append happens outside the scheduler lock: file IO must
+	// not stall admission, and a failed append only bumps a counter —
+	// the job's result is already served from memory.
+	if state == StateDone && s.led != nil {
+		rec := ledger.FromGrid("terpd", j.Spec, grid)
+		rec.JobID, rec.Tenant = j.ID, j.Tenant
+		rec.WallMS = runDur.Seconds() * 1e3
+		if err := s.led.Append(rec); err != nil {
+			s.metrics.ledgerErrors.Inc()
+		} else {
+			s.metrics.ledgerRecords.Inc()
+		}
+	}
 }
 
 // Lookup finds a job by ID among live jobs and stored results.

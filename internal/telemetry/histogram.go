@@ -81,14 +81,29 @@ func (h *Histogram) Cumulative() ([]uint64, uint64) {
 }
 
 // Quantile estimates the q-th quantile (0..1) by linear interpolation
-// within the owning bucket; samples beyond the last bound clamp to it.
-// With no samples it returns 0.
+// within the owning bucket. The degenerate inputs are pinned (and
+// tested) rather than left to fall out of the loop:
+//
+//   - no samples: returns 0, whatever q is;
+//   - q outside [0, 1]: clamped to the nearest valid quantile;
+//   - q == 0: reported as the rank of the first sample, so an
+//     all-mass-in-one-bucket histogram answers consistently for
+//     every q instead of special-casing the leading empty buckets;
+//   - all mass in the +Inf overflow bucket: the samples carry no
+//     upper bound, so the best point estimate is the last finite
+//     bound (0 when the histogram has no finite buckets at all).
 func (h *Histogram) Quantile(q float64) float64 {
 	cum, total := h.Cumulative()
 	if total == 0 {
 		return 0
 	}
-	rank := q * float64(total)
+	if len(h.bounds) == 0 {
+		// Only the implicit +Inf bucket exists: no finite bound to
+		// clamp to.
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := math.Max(q*float64(total), 1)
 	for i, c := range cum {
 		if float64(c) < rank {
 			continue

@@ -92,6 +92,51 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the documented degenerate cases:
+// empty histograms, out-of-range q, every sample in the +Inf overflow
+// bucket, and a histogram with no finite buckets at all.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := newHistogram([]float64{1, 2})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Every sample beyond the last bound: the overflow bucket has no
+	// upper edge, so the estimate clamps to the last finite bound —
+	// for every q, including 0 and the clamped out-of-range ones.
+	over := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{10, 20, 30} {
+		over.Observe(v)
+	}
+	for _, q := range []float64{-3, 0, 0.5, 0.99, 1, 7} {
+		if got := over.Quantile(q); got != 4 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want last bound 4", q, got)
+		}
+	}
+
+	// No finite buckets at all (explicit empty bounds): nothing to
+	// clamp to; 0 documents "no information" instead of panicking.
+	unbounded := newHistogram([]float64{})
+	unbounded.Observe(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := unbounded.Quantile(q); got != 0 {
+			t.Errorf("unbounded Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Out-of-range q clamps to the [min, max] estimates.
+	h := newHistogram([]float64{10, 20})
+	for v := 1; v <= 20; v++ {
+		h.Observe(float64(v))
+	}
+	if lo, hi := h.Quantile(-5), h.Quantile(5); lo != h.Quantile(0) || hi != h.Quantile(1) {
+		t.Errorf("clamp: Quantile(-5)=%v Quantile(0)=%v Quantile(5)=%v Quantile(1)=%v",
+			lo, h.Quantile(0), hi, h.Quantile(1))
+	}
+}
+
 // TestConcurrentObserve: counters, gauges and histograms stay exact
 // under concurrent writers (run with -race in CI).
 func TestConcurrentObserve(t *testing.T) {

@@ -248,6 +248,25 @@ var experimentTable = []experiment{
 	},
 }
 
+// Canonical returns the spec in canonical identity form: the wire
+// version stamped, Opts defaults applied, the ewsweep sweep list
+// resolved (and cleared for experiments that ignore it), and the
+// scheduling-only fields (Parallel, Progress) zeroed. Two specs with
+// equal Canonical forms produce byte-identical grids, which is what
+// lets the run ledger key its history on a hash of this form.
+func (s ExperimentSpec) Canonical() ExperimentSpec {
+	s.Version = WireVersion
+	s.Opts = s.Opts.withDefaults()
+	if s.Name == "ewsweep" {
+		s.EWMicros = s.sweepPoints()
+	} else {
+		s.EWMicros = nil
+	}
+	s.Parallel = 0
+	s.Progress = nil
+	return s
+}
+
 // sweepPoints resolves the ewsweep sweep list.
 func (s ExperimentSpec) sweepPoints() []float64 {
 	if len(s.EWMicros) != 0 {
